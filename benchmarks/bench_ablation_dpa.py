@@ -1,0 +1,45 @@
+"""§4.6 ablation: dynamic parameter allocation vs. fast local access.
+
+Paper: Lapse differs from a classic PS in two ways — dynamic parameter
+allocation (DPA) and shared-memory access to local parameters.  Shared memory
+alone has limited effect on multiple nodes (most parameters are remote, so
+network latency dominates); only the combination of DPA and shared memory
+yields good performance.
+
+Here: the three variants (classic, classic + fast local access, Lapse) run the
+matrix-factorization workload at 1 and 8 nodes.
+"""
+
+from benchmark_utils import WORKERS_PER_NODE, run_once
+
+from repro.experiments import MFScale, format_table, matrix_factorization_scenario
+from repro.experiments.scenarios import epoch_time
+
+SCALE = MFScale()
+
+
+def test_ablation_dpa_vs_fast_local_access(benchmark):
+    def run():
+        return matrix_factorization_scenario(
+            systems=("classic", "classic_fast_local", "lapse"),
+            parallelism=(1, 8),
+            scale=SCALE,
+            workers_per_node=WORKERS_PER_NODE,
+        )
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Ablation: DPA vs fast local access (MF epoch time, simulated s)"))
+
+    def t(system, nodes):
+        return epoch_time(rows, system, f"{nodes}x{WORKERS_PER_NODE}")
+
+    # On a single node, fast local access alone is a large win (all parameters
+    # are local, shared memory vs inter-process access).
+    assert t("classic_fast_local", 1) < 0.8 * t("classic", 1)
+    assert abs(t("classic_fast_local", 1) - t("lapse", 1)) / t("lapse", 1) < 0.05
+    # On 8 nodes, fast local access alone has limited effect (within 30% of the
+    # plain classic PS) because most accesses are remote …
+    assert t("classic_fast_local", 8) > 0.7 * t("classic", 8)
+    # … while adding DPA gives a large improvement.
+    assert t("lapse", 8) < 0.5 * t("classic_fast_local", 8)

@@ -1,0 +1,60 @@
+"""Figure 1: epoch run time for a large knowledge-graph-embeddings task.
+
+Paper: RESCAL (dimension 100) on DBpedia-500k, 1x4 to 8x4 workers.  The
+classic PSs fall behind a single node due to communication overhead while
+Lapse (dynamic parameter allocation + fast local access) scales near-linearly.
+
+Here: RESCAL on a synthetic Zipf knowledge graph, 1 to 8 simulated nodes.
+Expected shape: Lapse is the fastest system at 8 nodes, beats its own 1-node
+run time, and beats the classic PS by a large factor; fast local access alone
+does not fix the classic PS.
+"""
+
+from benchmark_utils import PARALLELISM, WORKERS_PER_NODE, run_once
+
+from repro.experiments import KGEScale, format_table, kge_scenario
+from repro.experiments.scenarios import epoch_time
+
+RESCAL_LARGE = KGEScale(
+    num_entities=250,
+    num_relations=8,
+    num_triples=400,
+    entity_dim=8,
+    num_negatives=2,
+    compute_time_per_triple=800e-6,
+)
+
+SYSTEMS = ("classic", "classic_fast_local", "lapse")
+
+
+def test_figure1_overview(benchmark):
+    def run():
+        return kge_scenario(
+            systems=SYSTEMS,
+            model="rescal",
+            parallelism=PARALLELISM,
+            scale=RESCAL_LARGE,
+            epochs=1,
+            workers_per_node=WORKERS_PER_NODE,
+        )
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Figure 1: RESCAL KGE epoch run time (simulated seconds)"))
+
+    def t(system, nodes):
+        return epoch_time(rows, system, f"{nodes}x{WORKERS_PER_NODE}")
+
+    # Lapse outperforms both classic variants at every multi-node parallelism.
+    for nodes in (2, 4, 8):
+        assert t("lapse", nodes) < t("classic", nodes)
+        assert t("lapse", nodes) < t("classic_fast_local", nodes)
+    # Lapse benefits from distribution (beats its own single-node run).
+    assert t("lapse", 8) < t("lapse", 1)
+    # Fast local access alone does not alleviate the communication overhead:
+    # at 8 nodes it stays close to the plain classic PS and far from Lapse.
+    assert t("classic_fast_local", 8) > 1.1 * t("lapse", 8)
+    print(
+        f"\nLapse speed-up over classic PS at 8 nodes: "
+        f"{t('classic', 8) / t('lapse', 8):.1f}x"
+    )

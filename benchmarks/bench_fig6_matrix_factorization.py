@@ -1,0 +1,65 @@
+"""Figure 6: matrix factorization epoch run time (two synthetic matrices).
+
+Paper: DSGD with parameter blocking on two ~31 GB synthetic matrices
+(10m x 1m and 3.4m x 3m, 1b entries each).  Classic PSs display significant
+communication overhead (2-8 nodes slower than 1 node), the classic PS with
+fast local access drops sharply from 1 to 2 nodes, and Lapse scales
+(above-)linearly because parameter blocking makes all accesses local.
+
+Here: two scaled-down synthetic matrices with the same row/column aspect
+contrast.  Expected shape: the classic PS does not benefit from more nodes,
+fast local access helps only on a single node, Lapse is fastest at every
+multi-node parallelism and beats its own single-node time.
+"""
+
+import pytest
+from benchmark_utils import PARALLELISM, WORKERS_PER_NODE, run_once
+
+from repro.experiments import MFScale, format_table, matrix_factorization_scenario
+from repro.experiments.scenarios import epoch_time
+
+#: Scaled-down counterparts of the paper's 10m x 1m and 3.4m x 3m matrices.
+MATRIX_A = MFScale(num_rows=320, num_cols=48, num_entries=12000, rank=8,
+                   compute_time_per_entry=25e-6)
+MATRIX_B = MFScale(num_rows=160, num_cols=96, num_entries=12000, rank=8,
+                   compute_time_per_entry=25e-6)
+
+SYSTEMS = ("classic", "classic_fast_local", "lapse")
+
+
+@pytest.mark.parametrize(
+    "label, scale",
+    [("fig6a_tall_matrix", MATRIX_A), ("fig6b_square_matrix", MATRIX_B)],
+)
+def test_figure6_matrix_factorization(benchmark, label, scale):
+    def run():
+        return matrix_factorization_scenario(
+            systems=SYSTEMS,
+            parallelism=PARALLELISM,
+            scale=scale,
+            epochs=1,
+            workers_per_node=WORKERS_PER_NODE,
+        )
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title=f"Figure 6 ({label}): MF epoch run time (simulated seconds)"))
+
+    def t(system, nodes):
+        return epoch_time(rows, system, f"{nodes}x{WORKERS_PER_NODE}")
+
+    # Classic PS: no benefit from distribution (8 nodes not faster than 1).
+    assert t("classic", 8) > 0.9 * t("classic", 1)
+    # Classic + fast local access: efficient single node, sharp drop at 2 nodes.
+    assert t("classic_fast_local", 2) > 1.5 * t("classic_fast_local", 1)
+    # Lapse exploits the parameter-blocking PAL technique: fastest at every
+    # multi-node level and clearly faster than a single node at 8 nodes.
+    for nodes in (2, 4, 8):
+        assert t("lapse", nodes) < t("classic", nodes)
+        assert t("lapse", nodes) < t("classic_fast_local", nodes)
+    assert t("lapse", 1) / t("lapse", 8) > 2.0
+    assert t("classic", 8) / t("lapse", 8) > 3.0
+    print(
+        f"\nLapse: {t('lapse', 1) / t('lapse', 8):.1f}x faster on 8 nodes than on 1; "
+        f"{t('classic', 8) / t('lapse', 8):.1f}x faster than the classic PS at 8 nodes"
+    )

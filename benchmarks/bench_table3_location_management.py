@@ -1,0 +1,117 @@
+"""Table 3: location-management strategies (storage and message counts).
+
+Paper: per-node storage and number of messages per remote access / relocation
+for four strategies — static partitioning (no DPA), broadcast operations,
+broadcast relocations, and the (decentralized) home-node strategy that Lapse
+uses (3 messages uncached, 2 with a correct location cache, 4 with a stale
+cache; 3 messages per relocation).
+
+Here: the home-node numbers are *measured* on the Lapse implementation with
+micro-workloads that force each routing case; the broadcast strategies'
+message counts are the analytic values from the paper (they are functions of
+N and K only), printed alongside for the full table.
+"""
+
+import numpy as np
+from benchmark_utils import run_once
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.experiments import format_table
+from repro.ps import LapsePS
+
+NUM_NODES = 4
+NUM_KEYS = 16
+
+
+def build(caches):
+    cluster = ClusterConfig(num_nodes=NUM_NODES, workers_per_node=1, seed=3)
+    config = ParameterServerConfig(num_keys=NUM_KEYS, value_length=2, location_caches=caches)
+    return LapsePS(cluster, config)
+
+
+def measure_remote_access_messages(caches, make_cache_stale=False):
+    """Messages for one remote pull of a key whose owner differs from its home."""
+    ps = build(caches)
+    measured = {}
+
+    def worker(client, worker_id):
+        # Key 15 is homed on node 3.  Node 2 localizes it so that home != owner.
+        if worker_id == 2:
+            yield from client.localize([15])
+        yield from client.barrier()
+        if worker_id == 0 and caches:
+            # Warm node 0's location cache with the current owner (node 2).
+            yield from client.pull([15])
+        yield from client.barrier()
+        if make_cache_stale and worker_id == 1:
+            # Node 1 steals the key, making node 0's cache entry stale.
+            yield from client.localize([15])
+        yield from client.barrier()
+        if worker_id == 0:
+            before = ps.network.stats.remote_messages
+            yield from client.pull([15])
+            after = ps.network.stats.remote_messages
+            measured["messages"] = after - before
+        return None
+
+    ps.run_workers(worker)
+    return measured["messages"]
+
+
+def measure_relocation_messages():
+    """Messages for one relocation with distinct requester, home, and owner."""
+    ps = build(caches=False)
+    measured = {}
+
+    def worker(client, worker_id):
+        if worker_id == 2:
+            yield from client.localize([15])  # key homed on node 3, now owned by node 2
+        yield from client.barrier()
+        if worker_id == 0:
+            before = ps.network.stats.remote_messages
+            yield from client.localize([15])
+            after = ps.network.stats.remote_messages
+            measured["messages"] = after - before
+        return None
+
+    ps.run_workers(worker)
+    return measured["messages"]
+
+
+def test_table3_location_management(benchmark):
+    def run():
+        return {
+            "uncached": measure_remote_access_messages(caches=False),
+            "cached_correct": measure_remote_access_messages(caches=True),
+            "cached_stale": measure_remote_access_messages(caches=True, make_cache_stale=True),
+            "relocation": measure_relocation_messages(),
+        }
+
+    measured = run_once(benchmark, run)
+    n, k = NUM_NODES, NUM_KEYS
+    rows = [
+        {"strategy": "Static partition (no DPA)", "storage/node": 0, "msgs/remote access": 2,
+         "msgs/relocation": "n/a", "source": "analytic"},
+        {"strategy": "Broadcast operations", "storage/node": 0, "msgs/remote access": n,
+         "msgs/relocation": 0, "source": "analytic"},
+        {"strategy": "Broadcast relocations", "storage/node": k, "msgs/remote access": 2,
+         "msgs/relocation": n, "source": "analytic"},
+        {"strategy": "Home node (Lapse, uncached)", "storage/node": k // n,
+         "msgs/remote access": measured["uncached"],
+         "msgs/relocation": measured["relocation"], "source": "measured"},
+        {"strategy": "Home node (correct cache)", "storage/node": k // n,
+         "msgs/remote access": measured["cached_correct"],
+         "msgs/relocation": measured["relocation"], "source": "measured"},
+        {"strategy": "Home node (stale cache)", "storage/node": k // n,
+         "msgs/remote access": measured["cached_stale"],
+         "msgs/relocation": measured["relocation"], "source": "measured"},
+    ]
+    print()
+    print(format_table(rows, title=f"Table 3: location management (N={n} nodes, K={k} keys)"))
+
+    # The home-node strategy of Lapse: 3 messages per uncached remote access,
+    # 2 with a correct cache, 4 with a stale cache, and 3 per relocation.
+    assert measured["uncached"] == 3
+    assert measured["cached_correct"] == 2
+    assert measured["cached_stale"] == 4
+    assert measured["relocation"] == 3

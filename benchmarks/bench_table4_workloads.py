@@ -1,0 +1,87 @@
+"""Table 4: ML tasks, models, datasets, and parameter-access rates.
+
+Paper: for each task, the number of model parameters, dataset size, and — as a
+proxy for the communication-to-computation ratio — the number of key accesses
+and megabytes of parameter values read per second by a single thread.  Matrix
+factorization has the highest access rate (~414k keys/s), the large KGE models
+and word vectors the lowest (~11-17k keys/s).
+
+Here: the same statistics are measured on the scaled-down synthetic workloads
+by running each task on a single simulated node with a single worker thread
+and dividing the access counters by the simulated run time.
+"""
+
+from benchmark_utils import run_once
+
+from repro.config import BYTES_PER_VALUE
+from repro.experiments import KGEScale, MFScale, W2VScale, format_table
+from repro.experiments.runner import (
+    run_kge_experiment,
+    run_mf_experiment,
+    run_w2v_experiment,
+)
+
+WORKLOADS = [
+    ("Matrix Factorization", "mf", MFScale(), None),
+    ("KGE ComplEx-Small", "kge", KGEScale(), "complex"),
+    ("KGE ComplEx-Large", "kge",
+     KGEScale(num_entities=300, num_relations=8, num_triples=400, entity_dim=16,
+              compute_time_per_triple=1000e-6), "complex"),
+    ("KGE RESCAL-Large", "kge",
+     KGEScale(num_entities=250, num_relations=8, num_triples=400, entity_dim=8,
+              compute_time_per_triple=800e-6), "rescal"),
+    ("Word2Vec", "w2v", W2VScale(), None),
+]
+
+
+def run_single_thread(task, scale, model):
+    if task == "mf":
+        return run_mf_experiment("lapse", num_nodes=1, workers_per_node=1, scale=scale)
+    if task == "kge":
+        return run_kge_experiment(
+            "lapse", num_nodes=1, workers_per_node=1, scale=scale, model=model
+        )
+    return run_w2v_experiment("lapse", num_nodes=1, workers_per_node=1, scale=scale)
+
+
+def test_table4_workload_statistics(benchmark):
+    def run():
+        rows = []
+        for label, task, scale, model in WORKLOADS:
+            result = run_single_thread(task, scale, model)
+            metrics = result.metrics
+            duration = sum(e.duration for e in result.epochs)
+            value_length = {
+                "mf": scale.rank if task == "mf" else None,
+            }
+            # Bytes read per key access follow from the PS value length.
+            if task == "mf":
+                per_key_bytes = scale.rank * BYTES_PER_VALUE
+            elif task == "kge":
+                base = scale.entity_dim if model == "rescal" else 2 * scale.entity_dim
+                per_key_bytes = 2 * base * BYTES_PER_VALUE
+            else:
+                per_key_bytes = scale.dim * BYTES_PER_VALUE
+            key_accesses_per_s = metrics.key_accesses_total / duration
+            mb_read_per_s = metrics.key_reads_total * per_key_bytes / duration / 1e6
+            rows.append(
+                {
+                    "task": label,
+                    "key accesses/s": key_accesses_per_s,
+                    "MB read/s": mb_read_per_s,
+                    "key accesses": metrics.key_accesses_total,
+                    "sim time s": duration,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Table 4: single-thread parameter access rates (measured)"))
+
+    rates = {row["task"]: row["key accesses/s"] for row in rows}
+    # Shape of Table 4: matrix factorization and the small KGE model access the
+    # PS far more frequently per second than the large KGE models.
+    assert rates["Matrix Factorization"] > 2 * rates["KGE ComplEx-Large"]
+    assert rates["KGE ComplEx-Small"] > 2 * rates["KGE ComplEx-Large"]
+    assert rates["KGE ComplEx-Small"] > 2 * rates["KGE RESCAL-Large"]

@@ -1,0 +1,67 @@
+"""Table 5: parameter reads, relocations, and relocation times (ComplEx-Large).
+
+Paper: for 1-8 nodes, the total / local / non-local parameter reads per
+second, relocations per second, and mean relocation time of the ComplEx-Large
+run.  Total reads are the same at every parallelism; almost all reads are
+local; the number of non-local reads (caused by localization conflicts) and
+the mean relocation time grow with the number of nodes, and the mean
+relocation time is smallest on 2 nodes because every relocation involves only
+2 instead of 3 nodes.
+
+Here: the same metrics are collected from the scaled-down ComplEx-Large run.
+"""
+
+from benchmark_utils import PARALLELISM, WORKERS_PER_NODE, run_once
+
+from repro.experiments import KGEScale, format_table
+from repro.experiments.runner import run_kge_experiment
+
+COMPLEX_LARGE = KGEScale(
+    num_entities=300, num_relations=8, num_triples=400, entity_dim=16,
+    num_negatives=2, compute_time_per_triple=1000e-6,
+)
+
+
+def test_table5_relocation_statistics(benchmark):
+    def run():
+        rows = []
+        for nodes in PARALLELISM:
+            result = run_kge_experiment(
+                "lapse",
+                num_nodes=nodes,
+                workers_per_node=WORKERS_PER_NODE,
+                model="complex",
+                scale=COMPLEX_LARGE,
+            )
+            metrics = result.metrics
+            duration = result.epoch_duration
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "reads_total": metrics.key_reads_total,
+                    "reads_local": metrics.key_reads_local,
+                    "reads_non_local": metrics.key_reads_remote,
+                    "relocations_per_s": metrics.relocations / duration,
+                    "mean_relocation_time_ms": metrics.relocation_time.mean * 1e3,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Table 5: ComplEx-Large reads and relocations (measured)"))
+    by_nodes = {row["nodes"]: row for row in rows}
+
+    # The total read volume is determined by the workload, not the parallelism.
+    totals = [row["reads_total"] for row in rows]
+    assert max(totals) <= 1.05 * min(totals)
+    # On a single node there are no relocations and no non-local reads.
+    assert by_nodes[1]["reads_non_local"] == 0
+    assert by_nodes[1]["relocations_per_s"] == 0
+    # With more nodes, localization conflicts appear: non-local reads grow.
+    assert by_nodes[8]["reads_non_local"] >= by_nodes[2]["reads_non_local"]
+    # The vast majority of reads stay local thanks to prelocalization.
+    assert by_nodes[8]["reads_local"] > 0.7 * by_nodes[8]["reads_total"]
+    # Mean relocation time is smaller on 2 nodes than on 8 (2-node relocations
+    # involve only two machines, i.e. one message less).
+    assert by_nodes[2]["mean_relocation_time_ms"] < by_nodes[8]["mean_relocation_time_ms"]

@@ -1,0 +1,14 @@
+"""Pytest configuration for the benchmark suite (path setup only).
+
+The shared helpers (worker counts, parallelism levels, run_once) live in
+``benchmark_utils.py``; this conftest only makes sure both the ``src`` layout
+package and the benchmark directory itself are importable.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (os.path.join(_ROOT, "src"), os.path.dirname(os.path.abspath(__file__))):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,13 @@
+"""Pytest configuration for the repository root.
+
+Ensures the ``src`` layout package is importable even when the project has not
+been pip-installed (the benchmark/test environment is offline, so an editable
+install may not be possible).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

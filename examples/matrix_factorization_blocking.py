@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Matrix factorization with parameter blocking (the Figure 6 workload).
+
+Trains a DSGD low-rank factorization of a synthetic matrix on three parameter
+servers — classic (PS-Lite style), classic with fast local access, and Lapse —
+and prints epoch run times, training RMSE and access locality, illustrating
+why dynamic parameter allocation is needed to exploit the parameter-blocking
+PAL technique.
+
+Run with::
+
+    python examples/matrix_factorization_blocking.py
+"""
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.data import generate_matrix
+from repro.ml import MatrixFactorizationConfig, MatrixFactorizationTrainer
+from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS
+
+NUM_NODES = 4
+WORKERS_PER_NODE = 2
+RANK = 8
+
+
+def run(ps_cls, matrix, epochs=2):
+    cluster = ClusterConfig(num_nodes=NUM_NODES, workers_per_node=WORKERS_PER_NODE, seed=0)
+    ps = ps_cls(cluster, ParameterServerConfig(num_keys=matrix.num_cols, value_length=RANK))
+    trainer = MatrixFactorizationTrainer(
+        ps,
+        matrix,
+        MatrixFactorizationConfig(rank=RANK, compute_time_per_entry=10e-6),
+        seed=0,
+    )
+    results = trainer.train(num_epochs=epochs)
+    metrics = ps.metrics()
+    return results, metrics
+
+
+def main() -> None:
+    matrix = generate_matrix(num_rows=200, num_cols=64, num_entries=6000, rank=RANK, seed=0)
+    print(f"Synthetic matrix: {matrix.num_rows}x{matrix.num_cols}, {matrix.num_entries} entries\n")
+    for name, ps_cls in [
+        ("Classic PS (PS-Lite)", ClassicIPCPS),
+        ("Classic PS + fast local access", ClassicSharedMemoryPS),
+        ("Lapse (dynamic parameter allocation)", LapsePS),
+    ]:
+        results, metrics = run(ps_cls, matrix)
+        epoch_times = ", ".join(f"{r.duration * 1e3:.1f} ms" for r in results)
+        print(f"{name}")
+        print(f"  epoch run times : {epoch_times}")
+        print(f"  final RMSE      : {results[-1].loss:.4f}")
+        print(f"  local reads     : {100 * metrics.local_read_fraction:.1f}%")
+        print(f"  relocations     : {metrics.relocations}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

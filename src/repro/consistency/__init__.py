@@ -1,0 +1,42 @@
+"""Consistency analysis of parameter-server executions.
+
+The paper compares the per-key consistency guarantees of classic PSs, Lapse
+(with and without location caches) and stale PSs (Table 1, §3.4).  This
+package provides the machinery to measure those guarantees empirically:
+
+* :mod:`repro.consistency.history` — recording client-observed operation
+  histories, with a bit-encoding of cumulative updates that makes every read
+  identify exactly the set of writes it has observed,
+* :mod:`repro.consistency.checkers` — checkers for eventual consistency,
+  the client-centric session guarantees (monotonic reads/writes, read your
+  writes, writes follow reads), causal-per-key, and sequential consistency,
+  plus an exhaustive search checker for small histories.
+"""
+
+from repro.consistency.checkers import (
+    CheckResult,
+    check_eventual,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_sequential,
+    check_sequential_exhaustive,
+    check_writes_follow_reads,
+    consistency_report,
+)
+from repro.consistency.history import History, Operation, UpdateTagger
+
+__all__ = [
+    "CheckResult",
+    "History",
+    "Operation",
+    "UpdateTagger",
+    "check_eventual",
+    "check_monotonic_reads",
+    "check_monotonic_writes",
+    "check_read_your_writes",
+    "check_sequential",
+    "check_sequential_exhaustive",
+    "check_writes_follow_reads",
+    "consistency_report",
+]

@@ -1,0 +1,38 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on two ~31 GB synthetic rating matrices, the DBpedia-500k
+knowledge graph, and the One Billion Word benchmark.  None of these can be
+shipped or processed here, so this package generates scaled-down synthetic
+equivalents that preserve the properties the experiments depend on:
+
+* :mod:`repro.data.synthetic_matrix` — sparse rating matrices drawn from a
+  low-rank ground-truth model (so matrix factorization actually converges),
+* :mod:`repro.data.synthetic_graph` — knowledge graphs with a DBpedia-like
+  entity/relation ratio and Zipf-skewed entity usage,
+* :mod:`repro.data.synthetic_corpus` — text corpora with Zipf-distributed
+  word frequencies (the skew that drives localization conflicts in the
+  word-vector experiment),
+* :mod:`repro.data.partitioning` — utilities to partition data points over
+  workers (by row block, by relation, round-robin).
+"""
+
+from repro.data.partitioning import (
+    partition_by_key_function,
+    partition_contiguous,
+    partition_round_robin,
+)
+from repro.data.synthetic_corpus import SyntheticCorpus, generate_corpus
+from repro.data.synthetic_graph import SyntheticKnowledgeGraph, generate_knowledge_graph
+from repro.data.synthetic_matrix import SyntheticMatrix, generate_matrix
+
+__all__ = [
+    "SyntheticCorpus",
+    "SyntheticKnowledgeGraph",
+    "SyntheticMatrix",
+    "generate_corpus",
+    "generate_knowledge_graph",
+    "generate_matrix",
+    "partition_by_key_function",
+    "partition_contiguous",
+    "partition_round_robin",
+]

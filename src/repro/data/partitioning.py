@@ -1,0 +1,50 @@
+"""Utilities for partitioning training data across workers/nodes."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.errors import DataGenerationError
+
+T = TypeVar("T")
+
+
+def partition_round_robin(items: Sequence[T], num_partitions: int) -> List[List[T]]:
+    """Deal items round-robin into ``num_partitions`` partitions."""
+    if num_partitions < 1:
+        raise DataGenerationError("num_partitions must be >= 1")
+    partitions: List[List[T]] = [[] for _ in range(num_partitions)]
+    for index, item in enumerate(items):
+        partitions[index % num_partitions].append(item)
+    return partitions
+
+
+def partition_contiguous(items: Sequence[T], num_partitions: int) -> List[List[T]]:
+    """Split items into contiguous, balanced partitions (sizes differ by <= 1)."""
+    if num_partitions < 1:
+        raise DataGenerationError("num_partitions must be >= 1")
+    base = len(items) // num_partitions
+    remainder = len(items) % num_partitions
+    partitions = []
+    start = 0
+    for index in range(num_partitions):
+        size = base + (1 if index < remainder else 0)
+        partitions.append(list(items[start : start + size]))
+        start += size
+    return partitions
+
+
+def partition_by_key_function(
+    items: Sequence[T], num_partitions: int, key_fn: Callable[[T], int]
+) -> List[List[T]]:
+    """Assign each item to partition ``key_fn(item) % num_partitions``.
+
+    Used e.g. to partition knowledge-graph triples by relation (the data
+    clustering PAL technique in the KGE experiments) or documents by language.
+    """
+    if num_partitions < 1:
+        raise DataGenerationError("num_partitions must be >= 1")
+    partitions: List[List[T]] = [[] for _ in range(num_partitions)]
+    for item in items:
+        partitions[key_fn(item) % num_partitions].append(item)
+    return partitions

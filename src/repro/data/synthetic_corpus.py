@@ -1,0 +1,132 @@
+"""Synthetic text corpora for the word-vector experiments.
+
+The paper trains skip-gram Word2Vec on the One Billion Word benchmark with
+stop words removed.  What matters for the PS evaluation is (a) the Zipf word
+frequency distribution — which makes a few parameters extremely hot and drives
+localization conflicts (§4.3) — and (b) sentence structure, because the
+latency-hiding scheme localizes all words of a sentence when the sentence is
+read (Appendix A).  This generator produces corpora with both properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+
+
+@dataclass(frozen=True)
+class SyntheticCorpus:
+    """A corpus of sentences over an integer vocabulary.
+
+    Attributes:
+        vocabulary_size: Number of distinct words (word ids are 0..V-1).
+        sentences: List of arrays of word ids.
+    """
+
+    vocabulary_size: int
+    sentences: List[np.ndarray]
+
+    @property
+    def num_sentences(self) -> int:
+        """Number of sentences."""
+        return len(self.sentences)
+
+    @property
+    def num_tokens(self) -> int:
+        """Total number of tokens."""
+        return int(sum(len(sentence) for sentence in self.sentences))
+
+    def word_frequencies(self) -> np.ndarray:
+        """Return the number of occurrences of every word."""
+        counts = np.zeros(self.vocabulary_size, dtype=np.int64)
+        for sentence in self.sentences:
+            np.add.at(counts, sentence, 1)
+        return counts
+
+    def unigram_distribution(self, power: float = 0.75) -> np.ndarray:
+        """Return the smoothed unigram distribution used for negative sampling."""
+        counts = self.word_frequencies().astype(np.float64)
+        weights = counts**power
+        total = weights.sum()
+        if total == 0:
+            raise DataGenerationError("corpus is empty")
+        return weights / total
+
+
+def generate_corpus(
+    vocabulary_size: int = 2000,
+    num_sentences: int = 500,
+    mean_sentence_length: int = 12,
+    skew: float = 1.0,
+    num_topics: int = 8,
+    topic_concentration: float = 0.85,
+    seed: int = 0,
+) -> SyntheticCorpus:
+    """Generate a corpus with Zipf-distributed word frequencies and topic structure.
+
+    Sentences are generated from a simple topic model: each sentence draws a
+    topic and then, with probability ``topic_concentration``, its words from
+    that topic's slice of the vocabulary (Zipf-weighted within the slice) and
+    otherwise from the global Zipf distribution.  The topic structure gives the
+    corpus real co-occurrence signal — words of the same topic appear together
+    — so skip-gram training has something to learn, while the global word
+    frequencies stay Zipf-skewed (the property that drives localization
+    conflicts in the word-vector experiment).
+
+    Args:
+        vocabulary_size: Number of distinct words.
+        num_sentences: Number of sentences.
+        mean_sentence_length: Mean sentence length (Poisson distributed, >= 2).
+        skew: Zipf exponent of the word distribution.
+        num_topics: Number of topics (each owns a contiguous vocabulary slice).
+        topic_concentration: Probability that a word comes from the sentence's
+            topic rather than the global distribution.
+        seed: Random seed.
+    """
+    if vocabulary_size < 2:
+        raise DataGenerationError("vocabulary must contain at least two words")
+    if num_sentences < 1:
+        raise DataGenerationError("need at least one sentence")
+    if mean_sentence_length < 2:
+        raise DataGenerationError("mean sentence length must be at least 2")
+    if skew < 0:
+        raise DataGenerationError("skew must be non-negative")
+    if num_topics < 1:
+        raise DataGenerationError("num_topics must be >= 1")
+    if not 0.0 <= topic_concentration <= 1.0:
+        raise DataGenerationError("topic_concentration must be in [0, 1]")
+    num_topics = min(num_topics, vocabulary_size)
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, vocabulary_size + 1, dtype=np.float64)
+    global_probabilities = ranks ** (-skew)
+    global_probabilities /= global_probabilities.sum()
+    # Decouple word id from frequency rank.
+    word_ids = rng.permutation(vocabulary_size)
+    # Each topic owns a contiguous slice of the rank space.
+    topic_slices = np.array_split(np.arange(vocabulary_size), num_topics)
+    topic_probabilities = []
+    for topic_ranks in topic_slices:
+        weights = global_probabilities[topic_ranks]
+        topic_probabilities.append(weights / weights.sum())
+    sentences = []
+    for _ in range(num_sentences):
+        length = max(2, int(rng.poisson(mean_sentence_length)))
+        topic = int(rng.integers(0, num_topics))
+        from_topic = rng.random(length) < topic_concentration
+        ranks_drawn = np.empty(length, dtype=np.int64)
+        num_topic_words = int(from_topic.sum())
+        if num_topic_words:
+            ranks_drawn[from_topic] = rng.choice(
+                topic_slices[topic], size=num_topic_words, p=topic_probabilities[topic]
+            )
+        num_global_words = length - num_topic_words
+        if num_global_words:
+            ranks_drawn[~from_topic] = rng.choice(
+                vocabulary_size, size=num_global_words, p=global_probabilities
+            )
+        sentences.append(word_ids[ranks_drawn].astype(np.int64))
+    return SyntheticCorpus(vocabulary_size=vocabulary_size, sentences=sentences)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation enters an invalid state."""
+
+
+class ProcessError(SimulationError):
+    """Raised when a simulation process fails or is used incorrectly."""
+
+
+class NetworkError(SimulationError):
+    """Raised for invalid network operations (unknown nodes, bad channels)."""
+
+
+class ParameterServerError(ReproError):
+    """Base class for parameter-server level errors."""
+
+
+class UnknownKeyError(ParameterServerError, KeyError):
+    """Raised when an operation references a key outside the key space."""
+
+
+class StorageError(ParameterServerError):
+    """Raised for invalid storage operations (shape mismatches, missing keys)."""
+
+
+class PartitionError(ParameterServerError):
+    """Raised when a partitioner is configured or queried incorrectly."""
+
+
+class RelocationError(ParameterServerError):
+    """Raised when the relocation protocol enters an invalid state."""
+
+
+class UnsupportedOperationError(ParameterServerError):
+    """Raised when a PS variant does not support a requested primitive.
+
+    For example, the classic parameter server raises this error for
+    ``localize`` because it allocates parameters statically.
+    """
+
+
+class ConsistencyViolation(ReproError):
+    """Raised (optionally) by consistency checkers when a history violates a model."""
+
+
+class DataGenerationError(ReproError):
+    """Raised when a synthetic dataset cannot be generated from the given spec."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment scenario is misconfigured."""

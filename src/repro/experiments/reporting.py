@@ -1,0 +1,47 @@
+"""Plain-text reporting helpers for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        raise ExperimentError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """Return ``baseline / measured`` (how many times faster than the baseline)."""
+    if measured <= 0:
+        raise ExperimentError("measured time must be positive")
+    return baseline / measured

@@ -1,0 +1,323 @@
+"""Build parameter servers by name and run the paper's ML tasks on them.
+
+The experiment figures compare a fixed set of *systems*:
+
+============================  =====================================================
+name                          meaning
+============================  =====================================================
+``classic``                   Classic PS with PS-Lite-style inter-process local
+                              access (the "Classic PS (PS-Lite)" lines).
+``classic_fast_local``        Classic PS with shared-memory local access but still
+                              static allocation ("Classic PS with fast local
+                              access").
+``lapse``                     Lapse: dynamic parameter allocation + shared memory.
+``lapse_clustering_only``     Lapse using only the data-clustering PAL technique
+                              (no latency hiding); KGE figures only.
+``stale_ssp``                 Stale PS with client-based synchronization (Petuum
+                              SSP).
+``stale_ssppush``             Stale PS with server-based synchronization (Petuum
+                              SSPPush).
+``lowlevel``                  The task-specific low-level DSGD implementation
+                              (matrix factorization only, Figure 9).
+============================  =====================================================
+
+``run_*_experiment`` functions build the cluster at a given parallelism
+(``num_nodes`` x ``workers_per_node``), run the task for a number of epochs and
+return a :class:`TaskRunResult` with epoch run times, losses, PS metrics and
+network traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ClusterConfig, CostModel, ParameterServerConfig
+from repro.data import generate_corpus, generate_knowledge_graph, generate_matrix
+from repro.errors import ExperimentError
+from repro.manual import LowLevelDSGD, LowLevelDSGDConfig
+from repro.ml import (
+    KGEConfig,
+    KGETrainer,
+    MatrixFactorizationConfig,
+    MatrixFactorizationTrainer,
+    Word2VecConfig,
+    Word2VecTrainer,
+)
+from repro.ml.kge import KGEKeySpace
+from repro.ml.results import EpochResult
+from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, StalePS
+from repro.ps.base import ParameterServer
+from repro.ps.metrics import PSMetrics
+
+#: Systems compared across the evaluation (see module docstring).
+SYSTEMS = (
+    "classic",
+    "classic_fast_local",
+    "lapse",
+    "lapse_clustering_only",
+    "stale_ssp",
+    "stale_ssppush",
+    "lowlevel",
+)
+
+#: Worker threads per node used throughout the paper's evaluation.
+PAPER_WORKERS_PER_NODE = 4
+
+
+def make_parameter_server(
+    system: str,
+    cluster: ClusterConfig,
+    ps_config: ParameterServerConfig,
+) -> ParameterServer:
+    """Instantiate the PS variant named ``system`` on ``cluster``."""
+    if system == "classic":
+        return ClassicIPCPS(cluster, ps_config)
+    if system == "classic_fast_local":
+        return ClassicSharedMemoryPS(cluster, ps_config)
+    if system in ("lapse", "lapse_clustering_only"):
+        return LapsePS(cluster, ps_config)
+    if system == "stale_ssp":
+        return StalePS(cluster, replace(ps_config, stale_server_push=False))
+    if system == "stale_ssppush":
+        return StalePS(cluster, replace(ps_config, stale_server_push=True))
+    raise ExperimentError(f"unknown system {system!r}")
+
+
+@dataclass(frozen=True)
+class TaskRunResult:
+    """Result of running one task on one system at one parallelism level."""
+
+    task: str
+    system: str
+    num_nodes: int
+    workers_per_node: int
+    epochs: List[EpochResult]
+    metrics: Optional[PSMetrics]
+    remote_messages: int
+    bytes_sent: int
+
+    @property
+    def epoch_duration(self) -> float:
+        """Mean simulated epoch run time."""
+        return sum(epoch.duration for epoch in self.epochs) / len(self.epochs)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        """Loss after the last epoch (None if not computed)."""
+        return self.epochs[-1].loss
+
+    @property
+    def parallelism(self) -> str:
+        """Human-readable parallelism label, e.g. ``"4x4"``."""
+        return f"{self.num_nodes}x{self.workers_per_node}"
+
+
+# ------------------------------------------------------------------ workloads
+@dataclass(frozen=True)
+class MFScale:
+    """Scaled-down matrix-factorization workload (paper: 10m x 1m / 3.4m x 3m, 1b entries).
+
+    The defaults are chosen so that, with the default cost model, the
+    communication-to-computation ratio reproduces the qualitative behaviour of
+    Figure 6: the classic PS does not benefit from distribution while Lapse
+    scales with the number of nodes.
+    """
+
+    num_rows: int = 256
+    num_cols: int = 64
+    num_entries: int = 12000
+    rank: int = 8
+    compute_time_per_entry: float = 25e-6
+
+
+@dataclass(frozen=True)
+class KGEScale:
+    """Scaled-down KGE workload (paper: DBpedia-500k, 3M triples).
+
+    The default corresponds to the "small" model configuration (frequent PS
+    accesses relative to computation — high communication overhead); the
+    figure-7 benchmarks pass explicit scales for the large models, whose
+    higher per-triple computation time reproduces their lower
+    communication-to-computation ratio (Table 4).
+    """
+
+    num_entities: int = 300
+    num_relations: int = 8
+    num_triples: int = 1200
+    entity_dim: int = 4
+    num_negatives: int = 2
+    compute_time_per_triple: float = 10e-6
+
+
+@dataclass(frozen=True)
+class W2VScale:
+    """Scaled-down word-vector workload (paper: One Billion Word benchmark)."""
+
+    vocabulary_size: int = 800
+    num_sentences: int = 120
+    mean_sentence_length: int = 6
+    dim: int = 8
+    window: int = 2
+    num_negatives: int = 3
+    compute_time_per_pair: float = 60e-6
+    word_skew: float = 0.8
+    presample_size: int = 100
+    presample_refresh: int = 80
+
+
+def _cluster(num_nodes: int, workers_per_node: int, seed: int, cost_model: Optional[CostModel]) -> ClusterConfig:
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        seed=seed,
+        cost_model=cost_model or CostModel(),
+    )
+
+
+def run_mf_experiment(
+    system: str,
+    num_nodes: int,
+    scale: Optional[MFScale] = None,
+    workers_per_node: int = PAPER_WORKERS_PER_NODE,
+    epochs: int = 1,
+    compute_loss: bool = False,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> TaskRunResult:
+    """Run DSGD matrix factorization (Figures 6 and 9)."""
+    scale = scale or MFScale()
+    matrix = generate_matrix(
+        scale.num_rows, scale.num_cols, scale.num_entries, rank=scale.rank, seed=seed
+    )
+    cluster = _cluster(num_nodes, workers_per_node, seed, cost_model)
+    mf_config = MatrixFactorizationConfig(
+        rank=scale.rank, compute_time_per_entry=scale.compute_time_per_entry
+    )
+    if system == "lowlevel":
+        baseline = LowLevelDSGD(
+            cluster,
+            matrix,
+            LowLevelDSGDConfig(
+                rank=scale.rank, compute_time_per_entry=scale.compute_time_per_entry
+            ),
+            seed=seed,
+        )
+        epoch_results = baseline.train(num_epochs=epochs, compute_loss=compute_loss)
+        return TaskRunResult(
+            task="matrix_factorization",
+            system=system,
+            num_nodes=num_nodes,
+            workers_per_node=workers_per_node,
+            epochs=epoch_results,
+            metrics=None,
+            remote_messages=baseline.network.stats.remote_messages,
+            bytes_sent=baseline.network.stats.bytes_sent,
+        )
+    ps_config = ParameterServerConfig(num_keys=scale.num_cols, value_length=scale.rank)
+    ps = make_parameter_server(system, cluster, ps_config)
+    trainer = MatrixFactorizationTrainer(ps, matrix, mf_config, seed=seed)
+    epoch_results = trainer.train(num_epochs=epochs, compute_loss=compute_loss)
+    return TaskRunResult(
+        task="matrix_factorization",
+        system=system,
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        epochs=epoch_results,
+        metrics=ps.metrics(),
+        remote_messages=ps.network.stats.remote_messages,
+        bytes_sent=ps.network.stats.bytes_sent,
+    )
+
+
+def run_kge_experiment(
+    system: str,
+    num_nodes: int,
+    model: str = "complex",
+    scale: Optional[KGEScale] = None,
+    workers_per_node: int = PAPER_WORKERS_PER_NODE,
+    epochs: int = 1,
+    compute_loss: bool = False,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> TaskRunResult:
+    """Run knowledge-graph-embedding training (Figures 1 and 7, Table 5)."""
+    scale = scale or KGEScale()
+    graph = generate_knowledge_graph(
+        num_entities=scale.num_entities,
+        num_relations=scale.num_relations,
+        num_triples=scale.num_triples,
+        seed=seed,
+    )
+    kge_config = KGEConfig(
+        model=model,
+        entity_dim=scale.entity_dim,
+        num_negatives=scale.num_negatives,
+        compute_time_per_triple=scale.compute_time_per_triple,
+        latency_hiding=system != "lapse_clustering_only",
+    )
+    keyspace = KGEKeySpace(graph, kge_config)
+    cluster = _cluster(num_nodes, workers_per_node, seed, cost_model)
+    ps_config = ParameterServerConfig(
+        num_keys=keyspace.num_keys, value_length=kge_config.value_length
+    )
+    ps = make_parameter_server(system, cluster, ps_config)
+    trainer = KGETrainer(ps, graph, kge_config, seed=seed)
+    epoch_results = trainer.train(num_epochs=epochs, compute_loss=compute_loss)
+    return TaskRunResult(
+        task=f"kge_{model}",
+        system=system,
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        epochs=epoch_results,
+        metrics=ps.metrics(),
+        remote_messages=ps.network.stats.remote_messages,
+        bytes_sent=ps.network.stats.bytes_sent,
+    )
+
+
+def run_w2v_experiment(
+    system: str,
+    num_nodes: int,
+    scale: Optional[W2VScale] = None,
+    workers_per_node: int = PAPER_WORKERS_PER_NODE,
+    epochs: int = 1,
+    compute_error: bool = False,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> TaskRunResult:
+    """Run skip-gram word-vector training (Figure 8)."""
+    scale = scale or W2VScale()
+    corpus = generate_corpus(
+        vocabulary_size=scale.vocabulary_size,
+        num_sentences=scale.num_sentences,
+        mean_sentence_length=scale.mean_sentence_length,
+        skew=scale.word_skew,
+        seed=seed,
+    )
+    w2v_config = Word2VecConfig(
+        dim=scale.dim,
+        window=scale.window,
+        num_negatives=scale.num_negatives,
+        compute_time_per_pair=scale.compute_time_per_pair,
+        latency_hiding=system not in ("classic", "classic_fast_local"),
+        presample_size=scale.presample_size,
+        presample_refresh=scale.presample_refresh,
+    )
+    cluster = _cluster(num_nodes, workers_per_node, seed, cost_model)
+    ps_config = ParameterServerConfig(
+        num_keys=2 * scale.vocabulary_size, value_length=scale.dim
+    )
+    ps = make_parameter_server(system, cluster, ps_config)
+    trainer = Word2VecTrainer(ps, corpus, w2v_config, seed=seed)
+    epoch_results = trainer.train(num_epochs=epochs, compute_error=compute_error)
+    return TaskRunResult(
+        task="word2vec",
+        system=system,
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        epochs=epoch_results,
+        metrics=ps.metrics(),
+        remote_messages=ps.network.stats.remote_messages,
+        bytes_sent=ps.network.stats.bytes_sent,
+    )

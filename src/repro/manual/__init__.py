@@ -1,0 +1,12 @@
+"""Task-specific low-level baseline implementations.
+
+The paper compares Lapse against a hand-tuned, task-specific low-level
+implementation of the parameter-blocking matrix factorization algorithm
+(Figure 9), which manages parameter movement manually with MPI primitives.
+:mod:`repro.manual.low_level_mf` reproduces that baseline on the same
+simulated cluster.
+"""
+
+from repro.manual.low_level_mf import LowLevelDSGD, LowLevelDSGDConfig
+
+__all__ = ["LowLevelDSGD", "LowLevelDSGDConfig"]

@@ -1,0 +1,36 @@
+"""Distributed ML tasks implemented against the parameter-server client API.
+
+The three tasks of the paper's evaluation (Table 4), each written once against
+the generic ``pull`` / ``push`` / ``localize`` / ``clock`` API so that the same
+algorithm runs on the classic PS, the stale PS, and Lapse:
+
+* :mod:`repro.ml.matrix_factorization` — DSGD low-rank matrix factorization
+  with the parameter-blocking PAL technique,
+* :mod:`repro.ml.kge` — knowledge-graph embeddings (RESCAL and ComplEx) with
+  AdaGrad, negative sampling, data clustering for relation parameters and
+  latency hiding (prelocalization) for entity parameters,
+* :mod:`repro.ml.word2vec` — skip-gram word vectors with negative sampling and
+  latency hiding.
+"""
+
+from repro.ml.kge import KGEConfig, KGETrainer
+from repro.ml.matrix_factorization import MatrixFactorizationConfig, MatrixFactorizationTrainer
+from repro.ml.metrics import log_loss, rmse, sigmoid
+from repro.ml.optim import AdaGradPacking, adagrad_update
+from repro.ml.results import EpochResult
+from repro.ml.word2vec import Word2VecConfig, Word2VecTrainer
+
+__all__ = [
+    "AdaGradPacking",
+    "EpochResult",
+    "KGEConfig",
+    "KGETrainer",
+    "MatrixFactorizationConfig",
+    "MatrixFactorizationTrainer",
+    "Word2VecConfig",
+    "Word2VecTrainer",
+    "adagrad_update",
+    "log_loss",
+    "rmse",
+    "sigmoid",
+]

@@ -1,0 +1,38 @@
+"""Helpers shared by the ML task trainers."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ps.base import ParameterServer
+from repro.ps.lapse import LapsePS
+from repro.ps.stale import StalePS
+
+
+def supports_localize(ps: ParameterServer) -> bool:
+    """Whether the PS supports the ``localize`` primitive (only Lapse does)."""
+    return isinstance(ps, LapsePS)
+
+
+def needs_clock(ps: ParameterServer) -> bool:
+    """Whether the PS requires explicit clock advances for synchronization."""
+    return isinstance(ps, StalePS)
+
+
+def maybe_localize(client, keys) -> Generator:
+    """Localize ``keys`` if the PS supports it; otherwise do nothing."""
+    if keys and supports_localize(client.ps):
+        yield from client.localize(list(keys))
+    return None
+
+
+def subepoch_synchronization(client) -> Generator:
+    """The synchronization every PS variant runs between subepochs.
+
+    The paper runs a global barrier after each subepoch for all systems and,
+    for the stale PS, additionally one clock advance (Appendix A).
+    """
+    if needs_clock(client.ps):
+        yield from client.clock()
+    yield from client.barrier()
+    return None

@@ -1,0 +1,365 @@
+"""Knowledge-graph embeddings (RESCAL and ComplEx) on a parameter server.
+
+The KGE task of §4 / Figures 1 and 7: learn embeddings for the entities and
+relations of a knowledge graph with SGD + AdaGrad and negative sampling.  Two
+models are supported:
+
+* **RESCAL** — entity vectors of dimension ``d`` and a ``d x d`` relation
+  matrix per relation (so relation parameters are ``d`` times larger than
+  entity parameters, which is why the "only data clustering" variant helps
+  RESCAL more than ComplEx, §4.3),
+* **ComplEx** — complex-valued entity and relation vectors of dimension ``d``
+  (stored as ``2 d`` reals).
+
+Parameter-server layout: one key per entity; each relation occupies
+``keys_per_relation`` consecutive keys of the same value length as an entity
+key (one key per matrix row for RESCAL, one key for ComplEx).  AdaGrad
+accumulators are stored in the PS alongside the values (Appendix A), so a key
+with model dimension ``m`` has PS value length ``2 m``.
+
+PAL techniques (Appendix A): *data clustering* partitions the triples by
+relation so every relation parameter is accessed by exactly one node and can
+be localized there once; *latency hiding* prelocalizes the entity parameters
+of the next triple (including its negative samples) while the current triple
+is being processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import derive_seed
+from repro.data.synthetic_graph import SyntheticKnowledgeGraph
+from repro.errors import ExperimentError
+from repro.ml.common import maybe_localize, needs_clock, supports_localize
+from repro.ml.metrics import log_loss, sigmoid
+from repro.ml.optim import AdaGradPacking, adagrad_update
+from repro.ml.results import EpochResult
+from repro.pal.latency_hiding import Prelocalizer
+from repro.ps.base import ParameterServer
+
+
+@dataclass(frozen=True)
+class KGEConfig:
+    """Hyper-parameters and PAL switches for the KGE task.
+
+    Attributes:
+        model: ``"rescal"`` or ``"complex"``.
+        entity_dim: Embedding dimension ``d``.
+        num_negatives: Negative samples per triple *per slot* (subject and
+            object are each perturbed this many times, as in the paper).
+        learning_rate: Initial AdaGrad learning rate (paper: 0.1).
+        compute_time_per_triple: Simulated computation time per triple.
+        data_clustering: Partition triples by relation and localize relation
+            parameters (PAL technique 1).
+        latency_hiding: Prelocalize entity parameters of the upcoming triple
+            (PAL technique 2).
+        init_scale: Standard deviation of the embedding initialization.
+    """
+
+    model: str = "complex"
+    entity_dim: int = 4
+    num_negatives: int = 2
+    learning_rate: float = 0.1
+    compute_time_per_triple: float = 20e-6
+    data_clustering: bool = True
+    latency_hiding: bool = True
+    init_scale: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.model not in ("rescal", "complex"):
+            raise ExperimentError(f"unknown KGE model {self.model!r}")
+        if self.entity_dim < 1:
+            raise ExperimentError("entity_dim must be >= 1")
+        if self.num_negatives < 1:
+            raise ExperimentError("num_negatives must be >= 1")
+        if self.learning_rate <= 0:
+            raise ExperimentError("learning_rate must be positive")
+        if self.compute_time_per_triple < 0:
+            raise ExperimentError("compute_time_per_triple must be non-negative")
+
+    @property
+    def base_dim(self) -> int:
+        """Per-key model dimension (``d`` for RESCAL, ``2 d`` for ComplEx)."""
+        return self.entity_dim if self.model == "rescal" else 2 * self.entity_dim
+
+    @property
+    def keys_per_relation(self) -> int:
+        """PS keys occupied by one relation parameter."""
+        return self.entity_dim if self.model == "rescal" else 1
+
+    @property
+    def value_length(self) -> int:
+        """Required PS value length (model value + AdaGrad accumulator)."""
+        return 2 * self.base_dim
+
+
+class KGEKeySpace:
+    """Maps entities and relations of a graph to PS keys."""
+
+    def __init__(self, graph: SyntheticKnowledgeGraph, config: KGEConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.num_entities = graph.num_entities
+        self.num_relations = graph.num_relations
+
+    @property
+    def num_keys(self) -> int:
+        """Total number of PS keys required."""
+        return self.num_entities + self.num_relations * self.config.keys_per_relation
+
+    def entity_key(self, entity: int) -> int:
+        """PS key of an entity embedding."""
+        if not 0 <= entity < self.num_entities:
+            raise ExperimentError(f"entity {entity} out of range")
+        return entity
+
+    def relation_keys(self, relation: int) -> List[int]:
+        """PS keys of a relation parameter (one or ``d`` consecutive keys)."""
+        if not 0 <= relation < self.num_relations:
+            raise ExperimentError(f"relation {relation} out of range")
+        start = self.num_entities + relation * self.config.keys_per_relation
+        return list(range(start, start + self.config.keys_per_relation))
+
+
+class KGETrainer:
+    """Trains RESCAL/ComplEx embeddings on any of the PS variants."""
+
+    def __init__(
+        self,
+        ps: ParameterServer,
+        graph: SyntheticKnowledgeGraph,
+        config: Optional[KGEConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.ps = ps
+        self.graph = graph
+        self.config = config or KGEConfig()
+        self.keyspace = KGEKeySpace(graph, self.config)
+        self.packing = AdaGradPacking(self.config.base_dim)
+        self.seed = seed
+        if ps.ps_config.num_keys != self.keyspace.num_keys:
+            raise ExperimentError(
+                f"the PS must have {self.keyspace.num_keys} keys, got {ps.ps_config.num_keys}"
+            )
+        if ps.ps_config.value_length != self.config.value_length:
+            raise ExperimentError(
+                f"the PS value length must be {self.config.value_length}, "
+                f"got {ps.ps_config.value_length}"
+            )
+        self._epochs_run = 0
+        self._partition_triples()
+        self._initialize_embeddings()
+
+    # ------------------------------------------------------------ preparation
+    def _partition_triples(self) -> None:
+        """Assign triples to workers (by relation if data clustering is on)."""
+        num_nodes = self.ps.cluster.num_nodes
+        workers_per_node = self.ps.cluster.workers_per_node
+        total_workers = self.ps.cluster.total_workers
+        triples = self.graph.triples()
+        self._worker_triples: Dict[int, np.ndarray] = {}
+        self._node_relations: Dict[int, List[int]] = {node: [] for node in range(num_nodes)}
+        if self.config.data_clustering:
+            for relation in range(self.graph.num_relations):
+                self._node_relations[relation % num_nodes].append(relation)
+            node_of_triple = triples[:, 1] % num_nodes
+            for node in range(num_nodes):
+                node_triples = triples[node_of_triple == node]
+                for local_worker in range(workers_per_node):
+                    worker_id = node * workers_per_node + local_worker
+                    self._worker_triples[worker_id] = node_triples[local_worker::workers_per_node]
+        else:
+            for relation in range(self.graph.num_relations):
+                self._node_relations[relation % num_nodes].append(relation)
+            for worker_id in range(total_workers):
+                self._worker_triples[worker_id] = triples[worker_id::total_workers]
+
+    def _initialize_embeddings(self) -> None:
+        rng = np.random.default_rng(derive_seed(self.seed, 202))
+        scale = self.config.init_scale
+        base_dim = self.config.base_dim
+        for key in range(self.keyspace.num_keys):
+            value = rng.normal(0.0, scale, size=base_dim)
+            packed = self.packing.pack(value, np.zeros(base_dim))
+            owner = self.ps.current_owner(key)
+            self.ps.states[owner].storage.set(key, packed)
+
+    # ---------------------------------------------------------------- scoring
+    def _score_and_grads(
+        self,
+        subject_vec: np.ndarray,
+        relation_rows: np.ndarray,
+        object_vec: np.ndarray,
+    ) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (score, grad_subject, grad_relation_rows, grad_object)."""
+        if self.config.model == "rescal":
+            relation_matrix = relation_rows  # (d, d)
+            score = float(subject_vec @ relation_matrix @ object_vec)
+            grad_subject = relation_matrix @ object_vec
+            grad_object = relation_matrix.T @ subject_vec
+            grad_relation = np.outer(subject_vec, object_vec)
+            return score, grad_subject, grad_relation, grad_object
+        # ComplEx: vectors are [real | imaginary] halves of length d.
+        d = self.config.entity_dim
+        relation_vec = relation_rows[0]
+        re_s, im_s = subject_vec[:d], subject_vec[d:]
+        re_r, im_r = relation_vec[:d], relation_vec[d:]
+        re_o, im_o = object_vec[:d], object_vec[d:]
+        score = float(
+            np.sum(re_r * (re_s * re_o + im_s * im_o) + im_r * (re_s * im_o - im_s * re_o))
+        )
+        grad_subject = np.concatenate(
+            [re_r * re_o + im_r * im_o, re_r * im_o - im_r * re_o]
+        )
+        grad_object = np.concatenate(
+            [re_r * re_s - im_r * im_s, re_r * im_s + im_r * re_s]
+        )
+        grad_relation = np.concatenate(
+            [re_s * re_o + im_s * im_o, re_s * im_o - im_s * re_o]
+        ).reshape(1, -1)
+        return score, grad_subject, grad_relation, grad_object
+
+    # -------------------------------------------------------------- training
+    def train(self, num_epochs: int = 1, compute_loss: bool = True) -> List[EpochResult]:
+        """Run ``num_epochs`` training epochs."""
+        if num_epochs < 1:
+            raise ExperimentError("num_epochs must be >= 1")
+        return [self.run_epoch(compute_loss=compute_loss) for _ in range(num_epochs)]
+
+    def run_epoch(self, compute_loss: bool = True) -> EpochResult:
+        """Run one epoch over all triples."""
+        epoch = self._epochs_run
+        start_time = self.ps.simulated_time
+        self.ps.run_workers(self._worker_epoch)
+        duration = self.ps.simulated_time - start_time
+        self._epochs_run += 1
+        loss = self.evaluation_loss() if compute_loss else None
+        return EpochResult(epoch=epoch, duration=duration, end_time=self.ps.simulated_time, loss=loss)
+
+    def _triple_entity_keys(self, triple: np.ndarray, negatives: np.ndarray) -> List[int]:
+        entities = {int(triple[0]), int(triple[2])}
+        entities.update(int(e) for e in negatives)
+        return [self.keyspace.entity_key(e) for e in sorted(entities)]
+
+    def _worker_epoch(self, client, worker_id: int) -> Generator:
+        config = self.config
+        triples = self._worker_triples.get(worker_id)
+        rng = np.random.default_rng(derive_seed(self.seed, worker_id, self._epochs_run + 1))
+        # Data clustering: localize this node's relation parameters once.
+        if config.data_clustering and supports_localize(self.ps) and client.local_worker_id == 0:
+            relation_keys: List[int] = []
+            for relation in self._node_relations[client.node_id]:
+                relation_keys.extend(self.keyspace.relation_keys(relation))
+            yield from maybe_localize(client, relation_keys)
+        yield from client.barrier()
+        if triples is not None and len(triples) > 0:
+            # Pre-draw negative entities for every triple of this epoch.
+            negatives = rng.integers(
+                0, self.graph.num_entities, size=(len(triples), 2 * config.num_negatives)
+            )
+            use_latency_hiding = config.latency_hiding and supports_localize(self.ps)
+            prelocalizer = Prelocalizer(client) if use_latency_hiding else None
+            if prelocalizer is not None:
+                prelocalizer.prime(self._triple_entity_keys(triples[0], negatives[0]))
+            for index in range(len(triples)):
+                if prelocalizer is not None and index + 1 < len(triples):
+                    prelocalizer.announce(
+                        self._triple_entity_keys(triples[index + 1], negatives[index + 1])
+                    )
+                if prelocalizer is not None:
+                    yield from prelocalizer.ready()
+                yield from self._process_triple(client, triples[index], negatives[index])
+                if config.compute_time_per_triple > 0:
+                    yield config.compute_time_per_triple
+        yield from client.barrier()
+        if needs_clock(self.ps):
+            yield from client.clock()
+        return None
+
+    def _process_triple(
+        self, client, triple: np.ndarray, negatives: np.ndarray
+    ) -> Generator:
+        config = self.config
+        subject, relation, obj = int(triple[0]), int(triple[1]), int(triple[2])
+        entity_keys = self._triple_entity_keys(triple, negatives)
+        relation_keys = self.keyspace.relation_keys(relation)
+        all_keys = entity_keys + relation_keys
+        pulled = yield from client.pull(all_keys)
+        packed: Dict[int, np.ndarray] = {key: pulled[i] for i, key in enumerate(all_keys)}
+        values: Dict[int, np.ndarray] = {}
+        for key in all_keys:
+            value, _ = self.packing.unpack(packed[key])
+            values[key] = value
+        relation_rows = np.vstack([values[key] for key in relation_keys])
+        gradients: Dict[int, np.ndarray] = {key: np.zeros(config.base_dim) for key in all_keys}
+        relation_grad = np.zeros_like(relation_rows)
+
+        def accumulate(s_ent: int, o_ent: int, label: float) -> None:
+            nonlocal relation_grad
+            s_key = self.keyspace.entity_key(s_ent)
+            o_key = self.keyspace.entity_key(o_ent)
+            score, grad_s, grad_r, grad_o = self._score_and_grads(
+                values[s_key], relation_rows, values[o_key]
+            )
+            coefficient = float(sigmoid(np.array([score]))[0] - label)
+            gradients[s_key] += coefficient * grad_s
+            gradients[o_key] += coefficient * grad_o
+            relation_grad = relation_grad + coefficient * grad_r
+
+        accumulate(subject, obj, label=1.0)
+        half = config.num_negatives
+        for negative in negatives[:half]:
+            accumulate(int(negative), obj, label=0.0)
+        for negative in negatives[half:]:
+            accumulate(subject, int(negative), label=0.0)
+        for row_index, key in enumerate(relation_keys):
+            gradients[key] += relation_grad[row_index]
+        updates = np.vstack(
+            [
+                adagrad_update(self.packing, packed[key], gradients[key], config.learning_rate)
+                for key in all_keys
+            ]
+        )
+        client.push_async(all_keys, updates, needs_ack=False)
+        return None
+
+    # ------------------------------------------------------------- evaluation
+    def _gather_values(self) -> np.ndarray:
+        packed = self.ps.all_parameters()
+        values, _ = self.packing.unpack(packed)
+        return values
+
+    def evaluation_loss(self, num_samples: int = 200, seed: int = 7) -> float:
+        """Mean log loss of positive triples vs. random negatives."""
+        rng = np.random.default_rng(seed)
+        values = self._gather_values()
+        count = min(num_samples, self.graph.num_triples)
+        indices = rng.choice(self.graph.num_triples, size=count, replace=False)
+        scores, labels = [], []
+        for index in indices:
+            subject = int(self.graph.subjects[index])
+            relation = int(self.graph.relations[index])
+            obj = int(self.graph.objects[index])
+            relation_rows = np.vstack(
+                [values[key] for key in self.keyspace.relation_keys(relation)]
+            )
+            score, _, _, _ = self._score_and_grads(
+                values[self.keyspace.entity_key(subject)],
+                relation_rows,
+                values[self.keyspace.entity_key(obj)],
+            )
+            scores.append(score)
+            labels.append(1.0)
+            negative = int(rng.integers(0, self.graph.num_entities))
+            score, _, _, _ = self._score_and_grads(
+                values[self.keyspace.entity_key(subject)],
+                relation_rows,
+                values[self.keyspace.entity_key(negative)],
+            )
+            scores.append(score)
+            labels.append(0.0)
+        return log_loss(np.array(scores), np.array(labels))

@@ -1,0 +1,24 @@
+"""Common result records for training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Outcome of one training epoch on a simulated cluster.
+
+    Attributes:
+        epoch: Epoch index (0-based).
+        duration: Simulated epoch run time in seconds (the quantity the
+            paper's run-time figures report).
+        end_time: Simulated time at which the epoch finished (cumulative).
+        loss: Task-specific loss/error metric evaluated after the epoch.
+    """
+
+    epoch: int
+    duration: float
+    end_time: float
+    loss: Optional[float] = None

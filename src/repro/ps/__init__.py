@@ -1,0 +1,56 @@
+"""Parameter-server implementations.
+
+Three architectures from the paper, all running on the same simulated cluster
+and exposing the same client API (Table 2):
+
+* :class:`~repro.ps.classic.ClassicPS` (+ :class:`ClassicIPCPS` /
+  :class:`ClassicSharedMemoryPS`) — static allocation, PS-Lite style,
+* :class:`~repro.ps.stale.StalePS` — bounded staleness with replicas,
+  Petuum style (SSP and SSPPush synchronization),
+* :class:`~repro.ps.lapse.LapsePS` — dynamic parameter allocation (the
+  paper's contribution): ``localize``, relocation protocol, home-node location
+  management, optional location caches.
+"""
+
+from repro.ps.base import NodeState, ParameterServer, WorkerClient
+from repro.ps.classic import ClassicIPCPS, ClassicPS, ClassicSharedMemoryPS
+from repro.ps.futures import OperationHandle
+from repro.ps.lapse import LapseNodeState, LapsePS, LapseWorkerClient
+from repro.ps.metrics import PSMetrics, RunningStat
+from repro.ps.partition import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    KeyPartitioner,
+    RangePartitioner,
+    make_partitioner,
+    random_key_mapping,
+)
+from repro.ps.stale import StalePS, StaleWorkerClient
+from repro.ps.storage import DenseStorage, LatchTable, SparseStorage, make_storage
+
+__all__ = [
+    "ClassicIPCPS",
+    "ClassicPS",
+    "ClassicSharedMemoryPS",
+    "DenseStorage",
+    "ExplicitPartitioner",
+    "HashPartitioner",
+    "KeyPartitioner",
+    "LapseNodeState",
+    "LapsePS",
+    "LapseWorkerClient",
+    "LatchTable",
+    "NodeState",
+    "OperationHandle",
+    "ParameterServer",
+    "PSMetrics",
+    "RangePartitioner",
+    "RunningStat",
+    "SparseStorage",
+    "StalePS",
+    "StaleWorkerClient",
+    "WorkerClient",
+    "make_partitioner",
+    "make_storage",
+    "random_key_mapping",
+]

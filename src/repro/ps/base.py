@@ -1,0 +1,561 @@
+"""Common machinery shared by all parameter-server variants.
+
+This module provides:
+
+* :class:`NodeState` — the per-node state shared (via "shared memory") by the
+  node's server thread and its co-located worker threads: the local parameter
+  store, outstanding-operation table, metrics, and barrier bookkeeping,
+* :class:`WorkerClient` — the application-facing API (Table 2 of the paper):
+  ``pull`` / ``push`` / ``localize`` in synchronous and asynchronous flavours,
+  plus ``barrier`` and ``clock`` helpers used by the training algorithms,
+* :class:`ParameterServer` — the base class that builds the simulated cluster
+  (one server thread + several worker threads per node, Figure 2), runs worker
+  processes, and exposes metrics and the trained model.
+
+Concrete variants (classic, Lapse, stale) subclass :class:`ParameterServer`
+and :class:`WorkerClient` and implement the message handling / routing logic.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+import numpy as np
+
+from repro.config import ClusterConfig, ParameterServerConfig, message_size
+from repro.errors import (
+    ParameterServerError,
+    UnknownKeyError,
+    UnsupportedOperationError,
+)
+from repro.ps.futures import OperationHandle
+from repro.ps.messages import (
+    BarrierArrive,
+    BarrierRelease,
+    LocalizeAck,
+    PullResponse,
+    PushAck,
+)
+from repro.ps.metrics import PSMetrics
+from repro.ps.partition import KeyPartitioner, make_partitioner
+from repro.ps.storage import LatchTable, ParameterStorage, make_storage
+from repro.simnet import Network, Node, Simulator
+from repro.simnet.events import Event
+from repro.simnet.node import server_address
+
+
+def van_address(node: int) -> Tuple[str, int]:
+    """Network address of the client "van" (response demultiplexer) on ``node``."""
+    return ("van", node)
+
+
+def coordinator_address() -> Tuple[str, int]:
+    """Network address of the cluster-wide barrier coordinator (on node 0)."""
+    return ("coordinator", 0)
+
+
+class NodeState:
+    """State shared by the server thread and worker threads of one node."""
+
+    def __init__(self, ps: "ParameterServer", node: Node) -> None:
+        self.ps = ps
+        self.node = node
+        self.node_id = node.node_id
+        self.metrics = PSMetrics()
+        self.latches = LatchTable(ps.ps_config.num_latches)
+        #: Parameters currently owned by this node.
+        self.storage: ParameterStorage = make_storage(
+            dense=ps.ps_config.dense_storage,
+            num_keys=ps.ps_config.num_keys,
+            value_length=ps.ps_config.value_length,
+        )
+        #: Outstanding operations issued from this node, keyed by op id.
+        self.outstanding: Dict[int, OperationHandle] = {}
+        #: Barrier waiters: generation -> list of events to release.
+        self.barrier_waiters: Dict[int, List[Event]] = {}
+
+    # ------------------------------------------------------------------ access
+    def read_local(self, key: int) -> np.ndarray:
+        """Read an owned parameter (acquiring its latch)."""
+        self.latches.acquire(key)
+        return self.storage.get(key)
+
+    def write_local(self, key: int, update: np.ndarray) -> None:
+        """Apply a cumulative update to an owned parameter (acquiring its latch)."""
+        self.latches.acquire(key)
+        self.storage.add(key, update)
+
+    def register_handle(self, handle: OperationHandle) -> None:
+        """Track an outstanding operation until its responses arrive."""
+        self.outstanding[id(handle)] = handle
+        op_key = id(handle)
+
+        def _cleanup(_event: Event) -> None:
+            self.outstanding.pop(op_key, None)
+
+        handle.completion_event.callbacks.append(_cleanup)
+
+
+class WorkerClient:
+    """Application-facing PS client bound to one worker thread.
+
+    The client exposes the primitives of Table 2.  Synchronous variants are
+    generators (to be used with ``yield from`` inside simulation processes);
+    asynchronous variants return an :class:`OperationHandle` immediately.
+    """
+
+    def __init__(
+        self,
+        ps: "ParameterServer",
+        state: NodeState,
+        worker_id: int,
+        local_worker_id: int,
+    ) -> None:
+        self.ps = ps
+        self.state = state
+        self.worker_id = worker_id
+        self.local_worker_id = local_worker_id
+        self.node_id = state.node_id
+        self.rng = state.node.worker_rng(local_worker_id)
+        self._barrier_generation = 0
+        self._clock = 0
+
+    # ------------------------------------------------------------- conveniences
+    @property
+    def sim(self) -> Simulator:
+        """The cluster's simulator (exposed for custom worker logic)."""
+        return self.ps.sim
+
+    @property
+    def value_length(self) -> int:
+        """Number of scalar entries stored per key."""
+        return self.ps.ps_config.value_length
+
+    @property
+    def num_keys(self) -> int:
+        """Size of the key space."""
+        return self.ps.ps_config.num_keys
+
+    def _check_keys(self, keys: Sequence[int]) -> Tuple[int, ...]:
+        checked = []
+        for key in keys:
+            key = int(key)
+            if not 0 <= key < self.ps.ps_config.num_keys:
+                raise UnknownKeyError(key)
+            checked.append(key)
+        if not checked:
+            raise ParameterServerError("operation requires at least one key")
+        return tuple(checked)
+
+    def _prepare_updates(self, keys: Tuple[int, ...], updates: Any) -> np.ndarray:
+        updates = np.asarray(updates, dtype=np.float64)
+        if updates.ndim == 1:
+            updates = updates.reshape(1, -1)
+        expected = (len(keys), self.ps.ps_config.value_length)
+        if updates.shape != expected:
+            raise ParameterServerError(
+                f"updates have shape {updates.shape}, expected {expected}"
+            )
+        return updates
+
+    # ---------------------------------------------------------------- sync API
+    def pull(self, keys: Sequence[int]) -> Generator:
+        """Synchronously pull ``keys``; returns an array with one row per key."""
+        handle = self.pull_async(keys)
+        yield from self.wait(handle)
+        return handle.values()
+
+    def push(self, keys: Sequence[int], updates: Any) -> Generator:
+        """Synchronously push cumulative ``updates`` for ``keys``."""
+        handle = self.push_async(keys, updates, needs_ack=True)
+        yield from self.wait(handle)
+        return handle
+
+    def localize(self, keys: Sequence[int]) -> Generator:
+        """Synchronously localize ``keys`` to this node (Lapse only)."""
+        handle = self.localize_async(keys)
+        yield from self.wait(handle)
+        return handle
+
+    # --------------------------------------------------------------- async API
+    def pull_async(self, keys: Sequence[int]) -> OperationHandle:
+        """Asynchronously pull ``keys``; returns a handle to wait on."""
+        keys = self._check_keys(keys)
+        handle = OperationHandle(self.sim, "pull", keys, self.value_length)
+        self.state.register_handle(handle)
+        self._issue_pull(handle, keys)
+        return handle
+
+    def push_async(
+        self, keys: Sequence[int], updates: Any, needs_ack: bool = False
+    ) -> OperationHandle:
+        """Asynchronously push ``updates`` for ``keys``."""
+        keys = self._check_keys(keys)
+        updates = self._prepare_updates(keys, updates)
+        handle = OperationHandle(self.sim, "push", keys, self.value_length)
+        self.state.register_handle(handle)
+        self._issue_push(handle, keys, updates, needs_ack)
+        return handle
+
+    def localize_async(self, keys: Sequence[int]) -> OperationHandle:
+        """Asynchronously request local allocation of ``keys`` (Lapse only)."""
+        keys = self._check_keys(keys)
+        handle = OperationHandle(self.sim, "localize", keys, self.value_length)
+        self.state.register_handle(handle)
+        self._issue_localize(handle, keys)
+        return handle
+
+    def pull_if_local(self, key: int) -> Optional[np.ndarray]:
+        """Return the value of ``key`` if it is stored locally, else ``None``.
+
+        This is the primitive used by the word-vector latency-hiding scheme
+        (Appendix A): negative samples whose parameters are not local are
+        skipped and re-sampled rather than fetched remotely.
+        """
+        key = int(self._check_keys([key])[0])
+        if self.state.storage.contains(key):
+            self.state.metrics.key_reads_local += 1
+            self.state.metrics.pulls_local += 1
+            return self.state.read_local(key)
+        return None
+
+    # ------------------------------------------------------------------ waiting
+    def wait(self, handle: OperationHandle) -> Generator:
+        """Wait for one outstanding operation."""
+        if not handle.done:
+            yield handle.completion_event
+        return handle
+
+    def wait_all(self, handles: Iterable[OperationHandle]) -> Generator:
+        """Wait for all of ``handles``."""
+        for handle in handles:
+            if not handle.done:
+                yield handle.completion_event
+        return None
+
+    # ----------------------------------------------------------- coordination
+    def barrier(self) -> Generator:
+        """Block until every worker in the cluster reached this barrier."""
+        generation = self._barrier_generation
+        self._barrier_generation += 1
+        release = Event(self.sim)
+        self.state.barrier_waiters.setdefault(generation, []).append(release)
+        arrive = BarrierArrive(
+            worker_id=self.worker_id,
+            node=self.node_id,
+            reply_to=van_address(self.node_id),
+            generation=generation,
+        )
+        self.ps.network.send(
+            self.node_id, coordinator_address(), arrive, message_size(0, 0)
+        )
+        yield release
+        return None
+
+    def clock(self) -> Generator:
+        """Advance this worker's clock (meaningful for the stale PS).
+
+        The base implementation is a synchronization no-op so that training
+        algorithms written against the stale PS also run on classic PSs and
+        Lapse without modification.
+        """
+        self._clock += 1
+        self.state.metrics.clock_advances += 1
+        return
+        yield  # pragma: no cover - makes this function a generator
+
+    # ------------------------------------------------------ variant extension
+    def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
+        raise NotImplementedError
+
+    def _issue_push(
+        self,
+        handle: OperationHandle,
+        keys: Tuple[int, ...],
+        updates: np.ndarray,
+        needs_ack: bool,
+    ) -> None:
+        raise NotImplementedError
+
+    def _issue_localize(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
+        raise UnsupportedOperationError(
+            f"{type(self.ps).__name__} allocates parameters statically and does "
+            "not support localize"
+        )
+
+    # --------------------------------------------------------------- internals
+    def _complete_after(
+        self, delay: float, action: Callable[[], None]
+    ) -> None:
+        """Run ``action`` after ``delay`` simulated seconds (without blocking)."""
+        event = Event(self.sim)
+        event.callbacks.append(lambda _evt: action())
+        event.succeed(delay=delay)
+
+
+class ParameterServer:
+    """Base class for all simulated parameter servers."""
+
+    #: Concrete subclasses set this to their client implementation.
+    client_class: Type[WorkerClient] = WorkerClient
+    #: Human-readable name used in reports.
+    name: str = "base"
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        ps_config: Optional[ParameterServerConfig] = None,
+        initial_values: Optional[Any] = None,
+        partitioner: Optional[KeyPartitioner] = None,
+        partitioner_kind: str = "range",
+    ) -> None:
+        self.cluster = cluster
+        self.ps_config = ps_config or ParameterServerConfig()
+        self.sim = Simulator()
+        self.network = Network(self.sim, cluster.cost_model)
+        self.nodes = [Node(self.sim, self.network, i, cluster) for i in range(cluster.num_nodes)]
+        self.partitioner = partitioner or make_partitioner(
+            partitioner_kind, self.ps_config.num_keys, cluster.num_nodes
+        )
+        if self.partitioner.num_keys != self.ps_config.num_keys:
+            raise ParameterServerError("partitioner key space does not match PS config")
+        if self.partitioner.num_nodes != cluster.num_nodes:
+            raise ParameterServerError("partitioner node count does not match cluster")
+        self._op_counter = 0
+        self.states: List[NodeState] = [self._make_node_state(node) for node in self.nodes]
+        self._initialize_parameters(initial_values)
+        self._start_threads()
+        self._clients: Dict[Tuple[int, int], WorkerClient] = {}
+
+    # ------------------------------------------------------------ construction
+    def _make_node_state(self, node: Node) -> NodeState:
+        return NodeState(self, node)
+
+    def _initial_owner(self, key: int) -> int:
+        """Node that owns ``key`` at start-up (the static partition)."""
+        return self.partitioner.node_of(key)
+
+    def _initialize_parameters(self, initial_values: Optional[Any]) -> None:
+        num_keys = self.ps_config.num_keys
+        length = self.ps_config.value_length
+        if initial_values is None:
+            values = np.zeros((num_keys, length), dtype=np.float64)
+        elif callable(initial_values):
+            values = np.vstack(
+                [np.asarray(initial_values(key), dtype=np.float64) for key in range(num_keys)]
+            )
+        else:
+            values = np.asarray(initial_values, dtype=np.float64)
+        if values.shape != (num_keys, length):
+            raise ParameterServerError(
+                f"initial values have shape {values.shape}, expected {(num_keys, length)}"
+            )
+        for key in range(num_keys):
+            owner = self._initial_owner(key)
+            self.states[owner].storage.insert(key, values[key])
+
+    def _start_threads(self) -> None:
+        # Server thread + van (response demux) on every node, barrier
+        # coordinator on node 0.
+        self._van_inboxes = []
+        for state in self.states:
+            self.sim.process(self._server_loop(state), name=f"server-{state.node_id}")
+            inbox = self.network.register(van_address(state.node_id), state.node_id)
+            self._van_inboxes.append(inbox)
+            self.sim.process(self._van_loop(state, inbox), name=f"van-{state.node_id}")
+        self._coordinator_inbox = self.network.register(coordinator_address(), 0)
+        self.sim.process(self._coordinator_loop(), name="coordinator")
+
+    # ---------------------------------------------------------------- clients
+    def client(self, node: int, local_worker: int) -> WorkerClient:
+        """Return (and cache) the client for worker ``local_worker`` on ``node``."""
+        key = (node, local_worker)
+        if key not in self._clients:
+            worker_id = self.cluster.worker_id(node, local_worker)
+            self._clients[key] = self.client_class(
+                self, self.states[node], worker_id, local_worker
+            )
+        return self._clients[key]
+
+    def clients(self) -> List[WorkerClient]:
+        """Return clients for every worker in the cluster, ordered by worker id."""
+        result = []
+        for node in range(self.cluster.num_nodes):
+            for local_worker in range(self.cluster.workers_per_node):
+                result.append(self.client(node, local_worker))
+        return result
+
+    def run_workers(
+        self,
+        worker_fn: Callable[[WorkerClient, int], Generator],
+        until: Optional[float] = None,
+    ) -> List[Any]:
+        """Spawn one process per worker from ``worker_fn`` and run the simulation.
+
+        Args:
+            worker_fn: Called as ``worker_fn(client, worker_id)``; must return a
+                generator (the worker's simulated behaviour).
+            until: Optional simulated-time cutoff.
+
+        Returns:
+            The return values of all workers, ordered by worker id.
+        """
+        processes = []
+        for client in self.clients():
+            generator = worker_fn(client, client.worker_id)
+            processes.append(
+                self.sim.process(generator, name=f"worker-{client.worker_id}")
+            )
+        self.sim.run(until=until)
+        results = []
+        for process in processes:
+            if not process.processed:
+                raise ParameterServerError(
+                    f"worker process {process.name} did not finish "
+                    "(deadlock or time limit reached)"
+                )
+            results.append(process.value)
+        return results
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation (used when worker processes were started manually)."""
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------ owners
+    def current_owner(self, key: int) -> int:
+        """Node that currently owns ``key`` (static partition unless overridden)."""
+        return self.partitioner.node_of(key)
+
+    def parameter(self, key: int) -> np.ndarray:
+        """Return the authoritative current value of ``key`` (outside simulation)."""
+        owner = self.current_owner(key)
+        return self.states[owner].storage.get(key)
+
+    def all_parameters(self) -> np.ndarray:
+        """Return the full model as an array of shape (num_keys, value_length)."""
+        return np.vstack([self.parameter(key) for key in range(self.ps_config.num_keys)])
+
+    # ----------------------------------------------------------------- metrics
+    def metrics(self) -> PSMetrics:
+        """Cluster-wide aggregate of all per-node metrics."""
+        return PSMetrics.aggregate(state.metrics for state in self.states)
+
+    def node_metrics(self, node: int) -> PSMetrics:
+        """Metrics of one node."""
+        return self.states[node].metrics
+
+    @property
+    def simulated_time(self) -> float:
+        """Current simulated time in seconds."""
+        return self.sim.now
+
+    # ------------------------------------------------------------- op id pool
+    def next_op_id(self) -> int:
+        """Return a fresh cluster-unique operation id."""
+        self._op_counter += 1
+        return self._op_counter
+
+    # ------------------------------------------------------------ server loops
+    def _server_loop(self, state: NodeState) -> Generator:
+        """Message-handling loop of the server thread on ``state``'s node."""
+        raise NotImplementedError
+
+    def _van_loop(self, state: NodeState, inbox) -> Generator:
+        """Demultiplex responses arriving at this node back to operation handles."""
+        while True:
+            message = yield inbox.get()
+            self._handle_van_message(state, message)
+
+    def _handle_van_message(self, state: NodeState, message: Any) -> None:
+        if isinstance(message, PullResponse):
+            handle = self._find_handle(state, message.op_id)
+            if handle is not None:
+                handle.complete_keys(message.keys, message.values)
+                self._after_response(state, message)
+        elif isinstance(message, PushAck):
+            handle = self._find_handle(state, message.op_id)
+            if handle is not None:
+                handle.complete_keys(message.keys)
+                self._after_response(state, message)
+        elif isinstance(message, LocalizeAck):
+            handle = self._find_handle(state, message.op_id)
+            if handle is not None:
+                handle.complete_keys(message.keys)
+        elif isinstance(message, BarrierRelease):
+            waiters = state.barrier_waiters.pop(message.generation, [])
+            for event in waiters:
+                event.succeed(None)
+        else:
+            self._handle_extra_van_message(state, message)
+
+    def _after_response(self, state: NodeState, message: Any) -> None:
+        """Hook for variants (e.g. location-cache updates in Lapse)."""
+
+    def _handle_extra_van_message(self, state: NodeState, message: Any) -> None:
+        raise ParameterServerError(
+            f"node {state.node_id} van received unexpected message {message!r}"
+        )
+
+    def _find_handle(self, state: NodeState, op_id: int) -> Optional[OperationHandle]:
+        handle = self._op_handles.get(op_id)
+        return handle
+
+    # Operation-id → handle registry (cluster global; models the per-node
+    # "customer" tables of PS-Lite without extra bookkeeping in every client).
+    @property
+    def _op_handles(self) -> Dict[int, OperationHandle]:
+        if not hasattr(self, "_op_handle_table"):
+            self._op_handle_table: Dict[int, OperationHandle] = {}
+        return self._op_handle_table
+
+    def register_op(self, op_id: int, handle: OperationHandle) -> None:
+        """Associate ``op_id`` with ``handle`` for response routing."""
+        self._op_handles[op_id] = handle
+        handle.completion_event.callbacks.append(
+            lambda _evt: self._op_handles.pop(op_id, None)
+        )
+
+    # ------------------------------------------------------------- coordinator
+    def _coordinator_loop(self) -> Generator:
+        arrivals: Dict[int, List[BarrierArrive]] = {}
+        total = self.cluster.total_workers
+        while True:
+            message = yield self._coordinator_inbox.get()
+            if not isinstance(message, BarrierArrive):
+                raise ParameterServerError(
+                    f"coordinator received unexpected message {message!r}"
+                )
+            generation_list = arrivals.setdefault(message.generation, [])
+            generation_list.append(message)
+            if len(generation_list) == total:
+                # Release every node that has waiters for this generation.
+                nodes_to_release = sorted({arrive.node for arrive in generation_list})
+                for node in nodes_to_release:
+                    self.network.send(
+                        0,
+                        van_address(node),
+                        BarrierRelease(generation=message.generation),
+                        message_size(0, 0),
+                    )
+                del arrivals[message.generation]
+
+    # ------------------------------------------------------------------ sending
+    def send_to_server(self, src_node: int, dst_node: int, payload: Any, size: int) -> None:
+        """Send ``payload`` to the server thread of ``dst_node``."""
+        self.network.send(src_node, server_address(dst_node), payload, size)
+
+    def send_to_van(self, src_node: int, dst_node: int, payload: Any, size: int) -> None:
+        """Send ``payload`` to the client van of ``dst_node``."""
+        self.network.send(src_node, van_address(dst_node), payload, size)

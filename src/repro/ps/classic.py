@@ -1,0 +1,267 @@
+"""Classic parameter server (PS-Lite style) with static parameter allocation.
+
+Parameters are allocated to servers once, via a static partitioning of the key
+space, and never move (§2.1).  Every pull/push for a key is answered by that
+key's server.  Two local-access modes are provided:
+
+* ``shared_memory_local_access=False`` — the PS-Lite behaviour: even
+  parameters stored on the *same* node are accessed through inter-process
+  communication with the local server thread, which the paper measured to be
+  71-91x slower than shared memory (§4.2),
+* ``shared_memory_local_access=True`` — the "Classic PS with fast local
+  access" variant used in the paper's ablation (§4.6): local parameters are
+  read/written directly through shared memory, but allocation remains static.
+
+``localize`` raises :class:`~repro.errors.UnsupportedOperationError`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generator, List, Tuple
+
+import numpy as np
+
+from repro.config import message_size
+from repro.errors import ParameterServerError
+from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.ps.futures import OperationHandle
+from repro.ps.messages import PullRequest, PullResponse, PushAck, PushRequest
+
+
+class ClassicWorkerClient(WorkerClient):
+    """Client for the classic PS: routes every key to its static server."""
+
+    # ------------------------------------------------------------------- pull
+    def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
+        local_keys, remote_groups = self._split_by_owner(keys)
+        state = self.state
+        metrics = state.metrics
+        if local_keys:
+            metrics.key_reads_local += len(local_keys)
+            if self.ps.ps_config.shared_memory_local_access:
+                self._local_pull_shared_memory(handle, local_keys)
+            else:
+                self._send_request_groups(handle, {self.node_id: local_keys}, pull=True)
+        for owner, owner_keys in remote_groups.items():
+            metrics.key_reads_remote += len(owner_keys)
+        if remote_groups:
+            self._send_request_groups(handle, remote_groups, pull=True)
+            metrics.pulls_remote += 1
+        else:
+            metrics.pulls_local += 1
+
+    # ------------------------------------------------------------------- push
+    def _issue_push(
+        self,
+        handle: OperationHandle,
+        keys: Tuple[int, ...],
+        updates: np.ndarray,
+        needs_ack: bool,
+    ) -> None:
+        local_keys, remote_groups = self._split_by_owner(keys)
+        state = self.state
+        metrics = state.metrics
+        key_to_row = {key: index for index, key in enumerate(keys)}
+        if local_keys:
+            metrics.key_writes_local += len(local_keys)
+            if self.ps.ps_config.shared_memory_local_access:
+                self._local_push_shared_memory(handle, local_keys, updates, key_to_row)
+            else:
+                self._send_push_groups(
+                    handle, {self.node_id: local_keys}, updates, key_to_row, needs_ack=True
+                )
+        for owner, owner_keys in remote_groups.items():
+            metrics.key_writes_remote += len(owner_keys)
+        if remote_groups:
+            self._send_push_groups(handle, remote_groups, updates, key_to_row, needs_ack=True)
+            metrics.pushes_remote += 1
+        else:
+            metrics.pushes_local += 1
+
+    # -------------------------------------------------------------- local fast path
+    def _local_pull_shared_memory(
+        self, handle: OperationHandle, local_keys: List[int]
+    ) -> None:
+        cost = self.ps.cluster.cost_model
+        delay = cost.local_access_time(shared_memory=True) * len(local_keys)
+        state = self.state
+
+        def action() -> None:
+            values = np.vstack([state.read_local(key) for key in local_keys])
+            handle.complete_keys(local_keys, values)
+
+        self._complete_after(delay, action)
+
+    def _local_push_shared_memory(
+        self,
+        handle: OperationHandle,
+        local_keys: List[int],
+        updates: np.ndarray,
+        key_to_row: Dict[int, int],
+    ) -> None:
+        cost = self.ps.cluster.cost_model
+        delay = cost.local_access_time(shared_memory=True) * len(local_keys)
+        state = self.state
+
+        def action() -> None:
+            for key in local_keys:
+                state.write_local(key, updates[key_to_row[key]])
+            handle.complete_keys(local_keys)
+
+        self._complete_after(delay, action)
+
+    # --------------------------------------------------------------- messaging
+    def _split_by_owner(
+        self, keys: Tuple[int, ...]
+    ) -> Tuple[List[int], Dict[int, List[int]]]:
+        local_keys: List[int] = []
+        remote_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in keys:
+            owner = self.ps.partitioner.node_of(key)
+            if owner == self.node_id:
+                local_keys.append(key)
+            else:
+                remote_groups[owner].append(key)
+        return local_keys, dict(remote_groups)
+
+    def _send_request_groups(
+        self, handle: OperationHandle, groups: Dict[int, List[int]], pull: bool
+    ) -> None:
+        for owner, owner_keys in groups.items():
+            for chunk in self._chunks(owner_keys):
+                op_id = self.ps.next_op_id()
+                self.ps.register_op(op_id, handle)
+                request = PullRequest(
+                    op_id=op_id,
+                    keys=tuple(chunk),
+                    requester_node=self.node_id,
+                    reply_to=van_address(self.node_id),
+                )
+                self.ps.send_to_server(
+                    self.node_id, owner, request, message_size(len(chunk), 0)
+                )
+
+    def _send_push_groups(
+        self,
+        handle: OperationHandle,
+        groups: Dict[int, List[int]],
+        updates: np.ndarray,
+        key_to_row: Dict[int, int],
+        needs_ack: bool,
+    ) -> None:
+        for owner, owner_keys in groups.items():
+            for chunk in self._chunks(owner_keys):
+                op_id = self.ps.next_op_id()
+                self.ps.register_op(op_id, handle)
+                chunk_updates = np.vstack([updates[key_to_row[key]] for key in chunk])
+                request = PushRequest(
+                    op_id=op_id,
+                    keys=tuple(chunk),
+                    updates=chunk_updates,
+                    requester_node=self.node_id,
+                    reply_to=van_address(self.node_id),
+                    needs_ack=needs_ack,
+                )
+                size = message_size(len(chunk), chunk_updates.size)
+                self.ps.send_to_server(self.node_id, owner, request, size)
+                if not needs_ack:
+                    handle.complete_keys(chunk)
+
+    def _chunks(self, keys: List[int]) -> List[List[int]]:
+        """Split keys into per-message chunks (one chunk when grouping is on)."""
+        if self.ps.ps_config.message_grouping:
+            return [keys]
+        return [[key] for key in keys]
+
+
+class ClassicPS(ParameterServer):
+    """PS-Lite-style parameter server with static allocation."""
+
+    client_class = ClassicWorkerClient
+    name = "classic"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+
+    def _server_loop(self, state: NodeState) -> Generator:
+        cost = self.cluster.cost_model
+        while True:
+            message = yield state.node.server_inbox.get()
+            yield cost.server_processing_time
+            if isinstance(message, PullRequest):
+                self._handle_pull(state, message)
+            elif isinstance(message, PushRequest):
+                self._handle_push(state, message)
+            else:
+                raise ParameterServerError(
+                    f"classic PS server received unexpected message {message!r}"
+                )
+
+    def _handle_pull(self, state: NodeState, request: PullRequest) -> None:
+        values = []
+        for key in request.keys:
+            if not state.storage.contains(key):
+                raise ParameterServerError(
+                    f"classic PS node {state.node_id} asked for key {key} it does not own"
+                )
+            values.append(state.read_local(key))
+        response = PullResponse(
+            op_id=request.op_id,
+            keys=request.keys,
+            values=np.vstack(values),
+            responder_node=state.node_id,
+        )
+        size = message_size(len(request.keys), len(request.keys) * self.ps_config.value_length)
+        self.network.send(state.node_id, request.reply_to, response, size)
+
+    def _handle_push(self, state: NodeState, request: PushRequest) -> None:
+        for index, key in enumerate(request.keys):
+            if not state.storage.contains(key):
+                raise ParameterServerError(
+                    f"classic PS node {state.node_id} asked to update key {key} it does not own"
+                )
+            state.write_local(key, request.updates[index])
+        if request.needs_ack:
+            ack = PushAck(
+                op_id=request.op_id, keys=request.keys, responder_node=state.node_id
+            )
+            self.network.send(
+                state.node_id, request.reply_to, ack, message_size(len(request.keys), 0)
+            )
+
+
+class ClassicSharedMemoryPS(ClassicPS):
+    """"Classic PS with fast local access": static allocation + shared memory.
+
+    This is the middle variant of the paper's ablation study (§4.6): it keeps
+    the static allocation of the classic PS but accesses local parameters via
+    shared memory, isolating the benefit of fast local access from the benefit
+    of dynamic parameter allocation.
+    """
+
+    name = "classic+sharedmem"
+
+    def __init__(self, cluster, ps_config=None, **kwargs) -> None:
+        from dataclasses import replace as dataclass_replace
+
+        from repro.config import ParameterServerConfig
+
+        ps_config = ps_config or ParameterServerConfig()
+        ps_config = dataclass_replace(ps_config, shared_memory_local_access=True)
+        super().__init__(cluster, ps_config, **kwargs)
+
+
+class ClassicIPCPS(ClassicPS):
+    """Classic PS with PS-Lite's inter-process local access (no shared memory)."""
+
+    name = "classic-ps-lite"
+
+    def __init__(self, cluster, ps_config=None, **kwargs) -> None:
+        from dataclasses import replace as dataclass_replace
+
+        from repro.config import ParameterServerConfig
+
+        ps_config = ps_config or ParameterServerConfig()
+        ps_config = dataclass_replace(ps_config, shared_memory_local_access=False)
+        super().__init__(cluster, ps_config, **kwargs)

@@ -1,0 +1,133 @@
+"""Operation handles for synchronous and asynchronous PS primitives.
+
+Every ``pull`` / ``push`` / ``localize`` call returns an
+:class:`OperationHandle`.  Synchronous calls wait for the handle before
+returning; asynchronous calls hand the handle to the application, which can
+later wait on it (or on many at once) — exactly how PS-Lite and Lapse expose
+asynchronous operation.
+
+A handle may be split across several destination nodes (message grouping): it
+completes when all of its sub-requests have been answered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterServerError
+from repro.simnet.events import AllOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.kernel import Simulator
+
+
+class OperationHandle:
+    """Tracks the completion of one logical PS operation.
+
+    Attributes:
+        op_type: ``"pull"``, ``"push"`` or ``"localize"``.
+        keys: The keys named by the operation, in application order.
+        issued_at: Simulated time at which the operation was issued.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        op_type: str,
+        keys: Sequence[int],
+        value_length: int,
+    ) -> None:
+        self.sim = sim
+        self.op_type = op_type
+        self.keys: Tuple[int, ...] = tuple(int(k) for k in keys)
+        self.value_length = value_length
+        self.issued_at = sim.now
+        self.completed_at: Optional[float] = None
+        self._event = Event(sim)
+        self._pending_keys = set(self.keys)
+        self._values: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ state
+    @property
+    def done(self) -> bool:
+        """Whether every key of the operation has been answered."""
+        return self._event.triggered
+
+    @property
+    def completion_event(self) -> Event:
+        """The simulation event that fires when the operation completes."""
+        return self._event
+
+    @property
+    def latency(self) -> float:
+        """Issue-to-completion latency (only valid once done)."""
+        if self.completed_at is None:
+            raise ParameterServerError("operation has not completed yet")
+        return self.completed_at - self.issued_at
+
+    # -------------------------------------------------------------- completion
+    def complete_keys(
+        self, keys: Sequence[int], values: Optional[np.ndarray] = None
+    ) -> None:
+        """Mark ``keys`` as answered, optionally recording pulled values."""
+        keys = [int(k) for k in keys]
+        if values is not None:
+            values = np.asarray(values, dtype=np.float64)
+            if values.ndim == 1:
+                values = values.reshape(1, -1)
+            if values.shape[0] != len(keys):
+                raise ParameterServerError(
+                    f"got {values.shape[0]} value rows for {len(keys)} keys"
+                )
+        for index, key in enumerate(keys):
+            if key not in self._pending_keys:
+                # Duplicate completion (e.g. a retried message); ignore the
+                # repeat but keep the first value.
+                continue
+            self._pending_keys.discard(key)
+            if values is not None:
+                self._values[key] = values[index]
+        if not self._pending_keys and not self._event.triggered:
+            self.completed_at = self.sim.now
+            self._event.succeed(self)
+
+    def fail(self, exception: BaseException) -> None:
+        """Fail the operation, propagating ``exception`` to waiters."""
+        if not self._event.triggered:
+            self.completed_at = self.sim.now
+            self._event.fail(exception)
+
+    # ------------------------------------------------------------------ result
+    def values(self) -> np.ndarray:
+        """Return pulled values as an array with one row per requested key."""
+        if not self.done:
+            raise ParameterServerError("operation has not completed yet")
+        if self.op_type != "pull":
+            raise ParameterServerError(f"{self.op_type} operations carry no values")
+        rows = []
+        for key in self.keys:
+            if key not in self._values:
+                raise ParameterServerError(f"no value recorded for key {key}")
+            rows.append(self._values[key])
+        return np.vstack(rows) if rows else np.zeros((0, self.value_length))
+
+    def value(self) -> np.ndarray:
+        """Return the value of a single-key pull as a flat vector."""
+        values = self.values()
+        if values.shape[0] != 1:
+            raise ParameterServerError(
+                f"value() requires a single-key operation, got {values.shape[0]} keys"
+            )
+        return values[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "done" if self.done else f"pending({len(self._pending_keys)} keys)"
+        return f"<OperationHandle {self.op_type} keys={list(self.keys)} {state}>"
+
+
+def wait_all(sim: "Simulator", handles: Iterable[OperationHandle]) -> Event:
+    """Return an event that triggers when all ``handles`` have completed."""
+    events: List[Event] = [h.completion_event for h in handles]
+    return AllOf(sim, events)

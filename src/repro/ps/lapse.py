@@ -1,0 +1,706 @@
+"""Lapse: a parameter server with dynamic parameter allocation (DPA).
+
+This module implements the system described in Section 3 of the paper:
+
+* **localize primitive** (§3.1, Table 2): a worker can request that parameters
+  be relocated to its node; subsequent accesses are local.
+* **Relocation protocol** (§3.2, Figure 4): three messages — the requester
+  informs the *home node*, the home node instructs the current *owner*, the
+  owner transfers the parameter to the requester.  The requester queues
+  operations for the relocating parameter and processes them once the
+  transfer arrives, so relocation never produces wrong results.
+* **Parameter access** (§3.3, Figure 5): local parameters are accessed through
+  shared memory directly by worker threads; remote accesses use the *forward*
+  strategy via the home node, optionally short-cut by *location caches* with a
+  double-forward fallback for stale cache entries.
+* **Location management** (§3.5): a decentralized home-node strategy; the home
+  node of a key is given by the static partitioner, the owner changes at run
+  time.
+* **Message grouping** (§3.7): multi-key operations send one message per
+  destination node.
+
+The implementation preserves the consistency behaviour analysed in §3.4:
+sequential consistency per key for synchronous operations and for
+asynchronous operations without location caches; location caches can break
+program order for asynchronous operations (Theorem 3), which the consistency
+test-suite demonstrates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import message_size
+from repro.errors import ParameterServerError, RelocationError
+from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.ps.futures import OperationHandle
+from repro.ps.messages import (
+    LocalizeAck,
+    LocalizeRequest,
+    PullRequest,
+    PullResponse,
+    PushAck,
+    PushRequest,
+    RelocateInstruction,
+    RelocationTransfer,
+)
+
+
+@dataclass
+class QueuedOp:
+    """An operation queued at the new owner while a key is relocating."""
+
+    kind: str  # "local_pull", "local_push", "remote_pull", "remote_push"
+    key: int
+    handle: Optional[OperationHandle] = None
+    update: Optional[np.ndarray] = None
+    request: Optional[Any] = None
+
+
+@dataclass
+class RelocatingKey:
+    """State of one key currently relocating *to* this node."""
+
+    key: int
+    requested_at: float
+    localize_handles: List[OperationHandle] = field(default_factory=list)
+    queued_ops: List[QueuedOp] = field(default_factory=list)
+    #: Set when a RelocateInstruction for this key arrives before the transfer
+    #: (a later localize by another node); the key is passed on immediately
+    #: after the transfer completes and queued work is drained.
+    pending_new_owner: Optional[int] = None
+
+
+class LapseNodeState(NodeState):
+    """Per-node state of Lapse: adds location tables, caches, and relocation state."""
+
+    def __init__(self, ps: "LapsePS", node) -> None:
+        super().__init__(ps, node)
+        #: Owner of every key homed at this node (home-node location table).
+        self.home_location: Dict[int, int] = {}
+        #: Keys currently relocating to this node.
+        self.relocating_in: Dict[int, RelocatingKey] = {}
+        #: For keys this node recently transferred away: where they went.
+        self.last_transfer: Dict[int, int] = {}
+        #: Optional location cache: key -> believed owner.
+        self.location_cache: Dict[int, int] = {}
+
+
+class LapseWorkerClient(WorkerClient):
+    """Lapse client: shared-memory local access, localize, transparent routing."""
+
+    state: LapseNodeState
+
+    # ------------------------------------------------------------------- pull
+    def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
+        state = self.state
+        metrics = state.metrics
+        local_keys: List[int] = []
+        queued_keys: List[int] = []
+        remote_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in keys:
+            if state.storage.contains(key):
+                local_keys.append(key)
+            elif key in state.relocating_in:
+                queued_keys.append(key)
+            else:
+                remote_groups[self._route_destination(key)].append(key)
+        if local_keys:
+            metrics.key_reads_local += len(local_keys)
+            self._local_pull(handle, local_keys)
+        for key in queued_keys:
+            metrics.key_reads_local += 1
+            metrics.queued_ops += 1
+            state.relocating_in[key].queued_ops.append(
+                QueuedOp(kind="local_pull", key=key, handle=handle)
+            )
+        for destination, dest_keys in remote_groups.items():
+            metrics.key_reads_remote += len(dest_keys)
+            self._send_remote(handle, destination, dest_keys, pull=True)
+        if remote_groups:
+            metrics.pulls_remote += 1
+        else:
+            metrics.pulls_local += 1
+
+    # ------------------------------------------------------------------- push
+    def _issue_push(
+        self,
+        handle: OperationHandle,
+        keys: Tuple[int, ...],
+        updates: np.ndarray,
+        needs_ack: bool,
+    ) -> None:
+        state = self.state
+        metrics = state.metrics
+        key_to_row = {key: index for index, key in enumerate(keys)}
+        local_keys: List[int] = []
+        queued_keys: List[int] = []
+        remote_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in keys:
+            if state.storage.contains(key):
+                local_keys.append(key)
+            elif key in state.relocating_in:
+                queued_keys.append(key)
+            else:
+                remote_groups[self._route_destination(key)].append(key)
+        if local_keys:
+            metrics.key_writes_local += len(local_keys)
+            self._local_push(handle, local_keys, updates, key_to_row)
+        for key in queued_keys:
+            metrics.key_writes_local += 1
+            metrics.queued_ops += 1
+            state.relocating_in[key].queued_ops.append(
+                QueuedOp(
+                    kind="local_push",
+                    key=key,
+                    handle=handle,
+                    update=updates[key_to_row[key]],
+                )
+            )
+        for destination, dest_keys in remote_groups.items():
+            metrics.key_writes_remote += len(dest_keys)
+            self._send_remote(
+                handle,
+                destination,
+                dest_keys,
+                pull=False,
+                updates=updates,
+                key_to_row=key_to_row,
+            )
+        if remote_groups:
+            metrics.pushes_remote += 1
+        else:
+            metrics.pushes_local += 1
+
+    # --------------------------------------------------------------- localize
+    def _issue_localize(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
+        state = self.state
+        ps: "LapsePS" = self.ps  # type: ignore[assignment]
+        metrics = state.metrics
+        metrics.localize_calls += 1
+        metrics.localized_keys += len(keys)
+        already_local: List[int] = []
+        home_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in keys:
+            if state.storage.contains(key):
+                already_local.append(key)
+            elif key in state.relocating_in:
+                state.relocating_in[key].localize_handles.append(handle)
+            else:
+                state.relocating_in[key] = RelocatingKey(
+                    key=key,
+                    requested_at=self.sim.now,
+                    localize_handles=[handle],
+                )
+                home_groups[ps.home_node(key)].append(key)
+        if already_local:
+            delay = self.ps.cluster.cost_model.localize_issue_time
+            self._complete_after(delay, lambda keys=tuple(already_local): handle.complete_keys(keys))
+        for home, home_keys in home_groups.items():
+            if home == self.node_id:
+                # The home table lives in this node's shared memory: apply the
+                # home-side logic directly (saves message 1 of the protocol).
+                ps.process_localize_at_home(state, tuple(home_keys), self.node_id)
+            else:
+                op_id = ps.next_op_id()
+                ps.register_op(op_id, handle)
+                request = LocalizeRequest(
+                    op_id=op_id, keys=tuple(home_keys), requester_node=self.node_id
+                )
+                ps.send_to_server(
+                    self.node_id, home, request, message_size(len(home_keys), 0)
+                )
+
+    # ------------------------------------------------------------ local access
+    def _local_pull(self, handle: OperationHandle, local_keys: List[int]) -> None:
+        cost = self.ps.cluster.cost_model
+        delay = cost.local_access_time(shared_memory=True) * len(local_keys)
+        state = self.state
+
+        def action() -> None:
+            present, values, missing = [], [], []
+            for key in local_keys:
+                # The key may have been relocated away between issue and the
+                # (tiny) shared-memory access delay; re-route those keys.
+                if state.storage.contains(key):
+                    present.append(key)
+                    values.append(state.read_local(key))
+                else:
+                    missing.append(key)
+            if present:
+                handle.complete_keys(present, np.vstack(values))
+            for key in missing:
+                self._reissue_key(handle, key, pull=True)
+
+        self._complete_after(delay, action)
+
+    def _local_push(
+        self,
+        handle: OperationHandle,
+        local_keys: List[int],
+        updates: np.ndarray,
+        key_to_row: Dict[int, int],
+    ) -> None:
+        cost = self.ps.cluster.cost_model
+        delay = cost.local_access_time(shared_memory=True) * len(local_keys)
+        state = self.state
+
+        def action() -> None:
+            done = []
+            for key in local_keys:
+                if state.storage.contains(key):
+                    state.write_local(key, updates[key_to_row[key]])
+                    done.append(key)
+                else:
+                    self._reissue_key(
+                        handle, key, pull=False, update=updates[key_to_row[key]]
+                    )
+            if done:
+                handle.complete_keys(done)
+
+        self._complete_after(delay, action)
+
+    def _reissue_key(
+        self,
+        handle: OperationHandle,
+        key: int,
+        pull: bool,
+        update: Optional[np.ndarray] = None,
+    ) -> None:
+        """Re-route a key whose local copy disappeared before the access ran."""
+        state = self.state
+        if key in state.relocating_in:
+            state.metrics.queued_ops += 1
+            state.relocating_in[key].queued_ops.append(
+                QueuedOp(
+                    kind="local_pull" if pull else "local_push",
+                    key=key,
+                    handle=handle,
+                    update=update,
+                )
+            )
+            return
+        destination = self._route_destination(key)
+        if pull:
+            self._send_remote(handle, destination, [key], pull=True)
+        else:
+            self._send_remote(
+                handle,
+                destination,
+                [key],
+                pull=False,
+                updates=update.reshape(1, -1),
+                key_to_row={key: 0},
+            )
+
+    # ---------------------------------------------------------------- routing
+    def _route_destination(self, key: int) -> int:
+        """Choose the node to contact for a non-local access to ``key``."""
+        state = self.state
+        ps: "LapsePS" = self.ps  # type: ignore[assignment]
+        if self.ps.ps_config.location_caches and key in state.location_cache:
+            state.metrics.cache_hits += 1
+            return state.location_cache[key]
+        home = ps.home_node(key)
+        if home == self.node_id:
+            # The home table is in this node's shared memory; contact the owner
+            # directly (2 messages instead of 3).
+            return state.home_location[key]
+        if self.ps.ps_config.location_caches:
+            state.metrics.cache_misses += 1
+        return home
+
+    def _send_remote(
+        self,
+        handle: OperationHandle,
+        destination: int,
+        keys: List[int],
+        pull: bool,
+        updates: Optional[np.ndarray] = None,
+        key_to_row: Optional[Dict[int, int]] = None,
+    ) -> None:
+        ps: "LapsePS" = self.ps  # type: ignore[assignment]
+        chunks = [keys] if self.ps.ps_config.message_grouping else [[k] for k in keys]
+        for chunk in chunks:
+            op_id = ps.next_op_id()
+            ps.register_op(op_id, handle)
+            if pull:
+                request: Any = PullRequest(
+                    op_id=op_id,
+                    keys=tuple(chunk),
+                    requester_node=self.node_id,
+                    reply_to=van_address(self.node_id),
+                )
+                size = message_size(len(chunk), 0)
+            else:
+                assert updates is not None and key_to_row is not None
+                chunk_updates = np.vstack([updates[key_to_row[key]] for key in chunk])
+                request = PushRequest(
+                    op_id=op_id,
+                    keys=tuple(chunk),
+                    updates=chunk_updates,
+                    requester_node=self.node_id,
+                    reply_to=van_address(self.node_id),
+                    needs_ack=True,
+                )
+                size = message_size(len(chunk), chunk_updates.size)
+            ps.send_to_server(self.node_id, destination, request, size)
+
+
+class LapsePS(ParameterServer):
+    """Parameter server with dynamic parameter allocation (the paper's Lapse)."""
+
+    client_class = LapseWorkerClient
+    name = "lapse"
+
+    def _make_node_state(self, node) -> LapseNodeState:
+        return LapseNodeState(self, node)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Initialize home-node location tables: at start-up the owner of every
+        # key is its home node (the static partition).
+        for key in range(self.ps_config.num_keys):
+            home = self.partitioner.node_of(key)
+            self.states[home].home_location[key] = home
+
+    # --------------------------------------------------------------- locations
+    def home_node(self, key: int) -> int:
+        """Home node of ``key`` (static, from the partitioner)."""
+        return self.partitioner.node_of(key)
+
+    def current_owner(self, key: int) -> int:
+        """Node that currently owns ``key`` according to its home node."""
+        home_state: LapseNodeState = self.states[self.home_node(key)]  # type: ignore[assignment]
+        return home_state.home_location[key]
+
+    # ------------------------------------------------------------ server loop
+    def _server_loop(self, state: LapseNodeState) -> Generator:  # type: ignore[override]
+        cost = self.cluster.cost_model
+        while True:
+            message = yield state.node.server_inbox.get()
+            if isinstance(message, (PullRequest, PushRequest)):
+                yield cost.server_processing_time
+                self._handle_access(state, message)
+            elif isinstance(message, LocalizeRequest):
+                yield cost.relocation_processing_time
+                self.process_localize_at_home(state, message.keys, message.requester_node)
+            elif isinstance(message, RelocateInstruction):
+                yield cost.relocation_processing_time
+                self._handle_instruction(state, message)
+            elif isinstance(message, RelocationTransfer):
+                yield cost.relocation_processing_time
+                self._handle_transfer(state, message)
+            else:
+                raise ParameterServerError(
+                    f"Lapse server on node {state.node_id} received unexpected "
+                    f"message {message!r}"
+                )
+
+    # ------------------------------------------------------------ pull / push
+    def _handle_access(self, state: LapseNodeState, request: Any) -> None:
+        """Handle a pull/push request at the server, forwarding unknown keys."""
+        is_pull = isinstance(request, PullRequest)
+        owned: List[int] = []
+        queued: List[int] = []
+        forward_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in request.keys:
+            if state.storage.contains(key):
+                owned.append(key)
+            elif key in state.relocating_in:
+                queued.append(key)
+            else:
+                forward_groups[self._forward_destination(state, key)].append(key)
+        if owned:
+            self._answer_owned(state, request, owned, is_pull)
+        for key in queued:
+            state.metrics.queued_ops += 1
+            state.relocating_in[key].queued_ops.append(
+                QueuedOp(
+                    kind="remote_pull" if is_pull else "remote_push",
+                    key=key,
+                    request=request,
+                )
+            )
+        key_to_row = {key: index for index, key in enumerate(request.keys)}
+        for destination, keys in forward_groups.items():
+            state.metrics.forwarded_ops += 1
+            self._forward_access(state, request, destination, keys, key_to_row, is_pull)
+
+    def _answer_owned(
+        self, state: LapseNodeState, request: Any, keys: List[int], is_pull: bool
+    ) -> None:
+        key_to_row = {key: index for index, key in enumerate(request.keys)}
+        if is_pull:
+            values = np.vstack([state.read_local(key) for key in keys])
+            response = PullResponse(
+                op_id=request.op_id,
+                keys=tuple(keys),
+                values=values,
+                responder_node=state.node_id,
+            )
+            size = message_size(len(keys), values.size)
+            self.network.send(state.node_id, request.reply_to, response, size)
+        else:
+            for key in keys:
+                state.write_local(key, request.updates[key_to_row[key]])
+            if request.needs_ack:
+                ack = PushAck(
+                    op_id=request.op_id, keys=tuple(keys), responder_node=state.node_id
+                )
+                self.network.send(
+                    state.node_id, request.reply_to, ack, message_size(len(keys), 0)
+                )
+
+    def _forward_destination(self, state: LapseNodeState, key: int) -> int:
+        """Best next hop for a key this node neither owns nor is receiving.
+
+        The home node forwards to the owner recorded in its location table;
+        any other node forwards to the home node.  A request that reached a
+        stale owner (e.g. through a stale location cache) therefore travels
+        requester → stale owner → home → current owner, the double-forward of
+        Figure 5d (4 messages in total including the response).
+        """
+        home = self.home_node(key)
+        if home == state.node_id:
+            return state.home_location[key]
+        return home
+
+    def _forward_access(
+        self,
+        state: LapseNodeState,
+        request: Any,
+        destination: int,
+        keys: List[int],
+        key_to_row: Dict[int, int],
+        is_pull: bool,
+    ) -> None:
+        op_id = request.op_id
+        if is_pull:
+            forwarded: Any = PullRequest(
+                op_id=op_id,
+                keys=tuple(keys),
+                requester_node=request.requester_node,
+                reply_to=request.reply_to,
+                hops=request.hops + 1,
+            )
+            size = message_size(len(keys), 0)
+        else:
+            updates = np.vstack([request.updates[key_to_row[key]] for key in keys])
+            forwarded = PushRequest(
+                op_id=op_id,
+                keys=tuple(keys),
+                updates=updates,
+                requester_node=request.requester_node,
+                reply_to=request.reply_to,
+                needs_ack=request.needs_ack,
+                hops=request.hops + 1,
+            )
+            size = message_size(len(keys), updates.size)
+        if request.hops > 0:
+            state.metrics.cache_stale += 1
+        self.send_to_server(state.node_id, destination, forwarded, size)
+
+    # -------------------------------------------------------------- relocation
+    def process_localize_at_home(
+        self, home_state: LapseNodeState, keys: Tuple[int, ...], requester: int
+    ) -> None:
+        """Home-node half of the relocation protocol (message 1 handling).
+
+        Updates the location table immediately and instructs the current owner
+        of every key to hand it over.  Keys already owned by the requester are
+        acknowledged without a transfer.
+        """
+        instruction_groups: Dict[int, List[int]] = defaultdict(list)
+        ack_keys: List[int] = []
+        for key in keys:
+            if self.home_node(key) != home_state.node_id:
+                raise RelocationError(
+                    f"node {home_state.node_id} received a localize request for key "
+                    f"{key}, whose home is node {self.home_node(key)}"
+                )
+            current_owner = home_state.home_location[key]
+            if current_owner == requester:
+                ack_keys.append(key)
+                continue
+            home_state.home_location[key] = requester
+            instruction_groups[current_owner].append(key)
+        if ack_keys:
+            self._acknowledge_local_keys(home_state, ack_keys, requester)
+        for old_owner, owner_keys in instruction_groups.items():
+            instruction = RelocateInstruction(
+                op_id=self.next_op_id(),
+                keys=tuple(owner_keys),
+                new_owner=requester,
+                home_node=home_state.node_id,
+            )
+            if old_owner == home_state.node_id:
+                self._handle_instruction(home_state, instruction)
+            else:
+                self.send_to_server(
+                    home_state.node_id,
+                    old_owner,
+                    instruction,
+                    message_size(len(owner_keys), 0),
+                )
+
+    def _acknowledge_local_keys(
+        self, home_state: LapseNodeState, keys: List[int], requester: int
+    ) -> None:
+        """Tell the requester that ``keys`` are already located at its node."""
+        requester_state: LapseNodeState = self.states[requester]  # type: ignore[assignment]
+        if requester == home_state.node_id:
+            self._complete_requester_side(requester_state, keys, values=None)
+            return
+        ack = LocalizeAck(op_id=0, keys=tuple(keys))
+        # The ack is routed through the server so the requester node can clear
+        # its relocation bookkeeping before completing worker handles.
+        self.send_to_server(
+            home_state.node_id,
+            requester,
+            RelocationTransfer(
+                op_id=0,
+                keys=tuple(keys),
+                values=np.zeros((0, self.ps_config.value_length)),
+                old_owner=requester,
+                removed_at=self.sim.now,
+            ),
+            message_size(len(keys), 0),
+        )
+        del ack  # only the transfer-style notification is used
+
+    def _handle_instruction(
+        self, state: LapseNodeState, instruction: RelocateInstruction
+    ) -> None:
+        """Old-owner half of the protocol (message 2 handling)."""
+        transfer_keys: List[int] = []
+        transfer_values: List[np.ndarray] = []
+        for key in instruction.keys:
+            if state.storage.contains(key):
+                transfer_keys.append(key)
+                transfer_values.append(state.storage.remove(key))
+                state.last_transfer[key] = instruction.new_owner
+            elif key in state.relocating_in:
+                # The key is still on its way to us; pass it on as soon as it
+                # arrives and the queued operations have been drained.
+                state.relocating_in[key].pending_new_owner = instruction.new_owner
+            else:
+                raise RelocationError(
+                    f"node {state.node_id} was instructed to relocate key {key} "
+                    "it neither owns nor expects"
+                )
+        if not transfer_keys:
+            return
+        values = np.vstack(transfer_values)
+        transfer = RelocationTransfer(
+            op_id=instruction.op_id,
+            keys=tuple(transfer_keys),
+            values=values,
+            old_owner=state.node_id,
+            removed_at=self.sim.now,
+        )
+        size = message_size(len(transfer_keys), values.size)
+        if instruction.new_owner == state.node_id:
+            self._handle_transfer(state, transfer)
+        else:
+            self.send_to_server(state.node_id, instruction.new_owner, transfer, size)
+
+    def _handle_transfer(
+        self, state: LapseNodeState, transfer: RelocationTransfer
+    ) -> None:
+        """New-owner half of the protocol (message 3 handling)."""
+        if transfer.values.shape[0] == 0:
+            # "Already local" notification generated by the home node.
+            self._complete_requester_side(state, list(transfer.keys), values=None)
+            return
+        for index, key in enumerate(transfer.keys):
+            if key not in state.relocating_in:
+                raise RelocationError(
+                    f"node {state.node_id} received a transfer for key {key} "
+                    "it did not request"
+                )
+            state.storage.insert(key, transfer.values[index])
+            entry = state.relocating_in.pop(key)
+            state.metrics.relocations += 1
+            state.metrics.relocation_time.record(self.sim.now - entry.requested_at)
+            state.metrics.blocking_time.record(self.sim.now - transfer.removed_at)
+            if self.ps_config.location_caches:
+                state.location_cache.pop(key, None)
+            for handle in entry.localize_handles:
+                handle.complete_keys([key])
+            self._drain_queue(state, key, entry)
+            if entry.pending_new_owner is not None:
+                follow_up = RelocateInstruction(
+                    op_id=self.next_op_id(),
+                    keys=(key,),
+                    new_owner=entry.pending_new_owner,
+                    home_node=self.home_node(key),
+                )
+                self._handle_instruction(state, follow_up)
+
+    def _complete_requester_side(
+        self, state: LapseNodeState, keys: List[int], values: Optional[np.ndarray]
+    ) -> None:
+        """Complete localize handles for keys that turned out to be local already."""
+        for key in keys:
+            entry = state.relocating_in.pop(key, None)
+            if entry is None:
+                continue
+            for handle in entry.localize_handles:
+                handle.complete_keys([key])
+            self._drain_queue(state, key, entry)
+
+    def _drain_queue(self, state: LapseNodeState, key: int, entry: RelocatingKey) -> None:
+        """Process operations queued while ``key`` was relocating, in order."""
+        for queued in entry.queued_ops:
+            if queued.kind == "local_pull":
+                if not state.storage.contains(key):
+                    raise RelocationError(
+                        f"queued local pull for key {key} but key is not resident"
+                    )
+                queued.handle.complete_keys([key], state.read_local(key).reshape(1, -1))
+            elif queued.kind == "local_push":
+                state.write_local(key, queued.update)
+                queued.handle.complete_keys([key])
+            elif queued.kind in ("remote_pull", "remote_push"):
+                request = queued.request
+                single = self._single_key_view(request, key)
+                self._handle_access(state, single)
+            else:  # pragma: no cover - defensive
+                raise RelocationError(f"unknown queued op kind {queued.kind!r}")
+
+    def _single_key_view(self, request: Any, key: int) -> Any:
+        """Build a single-key copy of a multi-key request for queued processing."""
+        if isinstance(request, PullRequest):
+            return PullRequest(
+                op_id=request.op_id,
+                keys=(key,),
+                requester_node=request.requester_node,
+                reply_to=request.reply_to,
+                hops=request.hops,
+            )
+        index = request.keys.index(key)
+        return PushRequest(
+            op_id=request.op_id,
+            keys=(key,),
+            updates=request.updates[index].reshape(1, -1),
+            requester_node=request.requester_node,
+            reply_to=request.reply_to,
+            needs_ack=request.needs_ack,
+            hops=request.hops,
+        )
+
+    # ------------------------------------------------------------------- van
+    def _after_response(self, state: LapseNodeState, message: Any) -> None:  # type: ignore[override]
+        if not self.ps_config.location_caches:
+            return
+        if isinstance(message, (PullResponse, PushAck)):
+            responder = message.responder_node
+            if responder == state.node_id:
+                return
+            for key in message.keys:
+                state.location_cache[key] = responder

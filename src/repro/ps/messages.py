@@ -1,0 +1,192 @@
+"""Wire messages exchanged by parameter-server threads.
+
+These dataclasses are the payloads carried by :class:`repro.simnet.Network`
+envelopes.  They mirror the message types described in the paper:
+
+* pull / push requests and their responses (Table 2),
+* the three relocation-protocol messages of Figure 4 (*request relocation*,
+  *instruct relocation*, *relocate*),
+* forwarded requests used by the forward / double-forward routing strategies
+  of Figure 5,
+* stale-PS messages: replica fetches, update flushes, clock advances, and
+  server-side replica pushes (SSPPush),
+* barrier coordination messages used between subepochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PullRequest:
+    """Request to read the current values of ``keys``.
+
+    ``reply_to`` is the van address of the requesting node; ``hops`` counts
+    forwarding steps for metric purposes (Figure 5 routing).
+    """
+
+    op_id: int
+    keys: Tuple[int, ...]
+    requester_node: int
+    reply_to: Hashable
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class PullResponse:
+    """Values answering a :class:`PullRequest` (possibly a partial key subset)."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    values: np.ndarray
+    responder_node: int
+
+
+@dataclass(frozen=True)
+class PushRequest:
+    """Cumulative update for ``keys``; ``updates`` has one row per key."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    updates: np.ndarray
+    requester_node: int
+    reply_to: Hashable
+    needs_ack: bool = True
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class PushAck:
+    """Acknowledgement that a push (sub-)request was applied."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    responder_node: int
+
+
+@dataclass(frozen=True)
+class LocalizeRequest:
+    """Message 1 of the relocation protocol: requester → home node."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    requester_node: int
+
+
+@dataclass(frozen=True)
+class RelocateInstruction:
+    """Message 2 of the relocation protocol: home node → current owner."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    new_owner: int
+    home_node: int
+
+
+@dataclass(frozen=True)
+class RelocationTransfer:
+    """Message 3 of the relocation protocol: old owner → new owner (with values).
+
+    ``removed_at`` is the simulated time at which the old owner stopped
+    answering operations for these keys; the new owner uses it to measure the
+    blocking time of the relocation (§3.2).
+    """
+
+    op_id: int
+    keys: Tuple[int, ...]
+    values: np.ndarray
+    old_owner: int
+    removed_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class LocalizeAck:
+    """Notification that keys were already local to the requester (no move needed)."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+
+
+# --------------------------------------------------------------------------- stale PS
+@dataclass(frozen=True)
+class ReplicaFetchRequest:
+    """Stale PS: fetch fresh replica values for ``keys`` from their owner."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    requester_node: int
+    reply_to: Hashable
+    clock: int
+
+
+@dataclass(frozen=True)
+class ReplicaFetchResponse:
+    """Stale PS: fresh values with the server clock at which they were read."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    values: np.ndarray
+    clock: int
+    responder_node: int
+
+
+@dataclass(frozen=True)
+class UpdateFlush:
+    """Stale PS: accumulated updates flushed from a node to a key's owner at a clock."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    updates: np.ndarray
+    source_node: int
+    clock: int
+    reply_to: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class FlushAck:
+    """Stale PS: acknowledgement that an update flush was applied."""
+
+    op_id: int
+    clock: int
+    responder_node: int
+
+
+@dataclass(frozen=True)
+class ReplicaPush:
+    """Stale PS (SSPPush): owner proactively pushes fresh values to a subscriber."""
+
+    keys: Tuple[int, ...]
+    values: np.ndarray
+    clock: int
+    responder_node: int
+
+
+# --------------------------------------------------------------------------- barrier
+@dataclass(frozen=True)
+class BarrierArrive:
+    """A worker announces it reached barrier ``generation``."""
+
+    worker_id: int
+    node: int
+    reply_to: Hashable
+    generation: int
+
+
+@dataclass(frozen=True)
+class BarrierRelease:
+    """The coordinator releases all workers from barrier ``generation``."""
+
+    generation: int
+
+
+@dataclass(frozen=True)
+class WorkerDirectValue:
+    """Reply routed to a specific worker rather than the node van (rarely used)."""
+
+    op_id: int
+    keys: Tuple[int, ...]
+    values: np.ndarray

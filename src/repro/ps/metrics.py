@@ -1,0 +1,198 @@
+"""Metric counters collected by every parameter-server variant.
+
+The evaluation of the paper reports, besides run times, several operational
+metrics: the number of (local vs. non-local) parameter reads, the number of
+relocations per second, and mean relocation times (Table 5), plus the message
+and traffic volumes implied by the location-management strategies (Table 3).
+:class:`PSMetrics` collects exactly these quantities per node;
+:meth:`PSMetrics.merge` aggregates them across a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+
+@dataclass
+class RunningStat:
+    """Streaming mean/min/max/count without storing samples."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Return a new stat combining this one with ``other``."""
+        merged = RunningStat(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+        return merged
+
+
+@dataclass
+class PSMetrics:
+    """Operation counters for one node (or, after merging, a whole cluster).
+
+    Attributes:
+        pulls_local: Pull operations answered from local (owned) parameters.
+        pulls_remote: Pull operations that required network communication.
+        pushes_local: Push operations applied locally.
+        pushes_remote: Push operations that required network communication.
+        key_reads_local / key_reads_remote: Per-key counts (a multi-key pull of
+            ``n`` keys counts ``n`` key reads); these correspond to the
+            "Parameter reads" columns of Table 5.
+        localize_calls: Number of localize operations issued.
+        localized_keys: Number of keys requested across all localize calls.
+        relocations: Number of parameter relocations that actually moved a key.
+        relocation_time: Distribution of relocation times (issue → new owner
+            starts answering), §3.2.
+        blocking_time: Distribution of blocking times (time the key was
+            unavailable during relocation), §3.2.
+        queued_ops: Operations queued at a new owner while a relocation was in
+            flight.
+        forwarded_ops: Operations forwarded because they arrived at a node that
+            no longer owned the key (includes double-forwards).
+        cache_hits / cache_misses / cache_stale: Location-cache outcomes.
+        clock_advances: Clock/barrier advances (stale PS and parameter
+            blocking).
+        replica_refreshes: Replica values refreshed from owners (stale PS).
+    """
+
+    pulls_local: int = 0
+    pulls_remote: int = 0
+    pushes_local: int = 0
+    pushes_remote: int = 0
+    key_reads_local: int = 0
+    key_reads_remote: int = 0
+    key_writes_local: int = 0
+    key_writes_remote: int = 0
+    localize_calls: int = 0
+    localized_keys: int = 0
+    relocations: int = 0
+    relocation_time: RunningStat = field(default_factory=RunningStat)
+    blocking_time: RunningStat = field(default_factory=RunningStat)
+    queued_ops: int = 0
+    forwarded_ops: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stale: int = 0
+    clock_advances: int = 0
+    replica_refreshes: int = 0
+    replica_reads: int = 0
+
+    @property
+    def pulls_total(self) -> int:
+        """Total number of pull operations."""
+        return self.pulls_local + self.pulls_remote
+
+    @property
+    def pushes_total(self) -> int:
+        """Total number of push operations."""
+        return self.pushes_local + self.pushes_remote
+
+    @property
+    def key_reads_total(self) -> int:
+        """Total number of per-key reads (local + remote + replica)."""
+        return self.key_reads_local + self.key_reads_remote
+
+    @property
+    def key_accesses_total(self) -> int:
+        """Total key accesses: reads plus writes (Table 4 'key accesses')."""
+        return (
+            self.key_reads_local
+            + self.key_reads_remote
+            + self.key_writes_local
+            + self.key_writes_remote
+        )
+
+    @property
+    def local_read_fraction(self) -> float:
+        """Fraction of key reads served locally (1.0 when there are none)."""
+        total = self.key_reads_total
+        if total == 0:
+            return 1.0
+        return self.key_reads_local / total
+
+    def merge(self, other: "PSMetrics") -> "PSMetrics":
+        """Return a new :class:`PSMetrics` summing this and ``other``."""
+        merged = PSMetrics()
+        for name in (
+            "pulls_local",
+            "pulls_remote",
+            "pushes_local",
+            "pushes_remote",
+            "key_reads_local",
+            "key_reads_remote",
+            "key_writes_local",
+            "key_writes_remote",
+            "localize_calls",
+            "localized_keys",
+            "relocations",
+            "queued_ops",
+            "forwarded_ops",
+            "cache_hits",
+            "cache_misses",
+            "cache_stale",
+            "clock_advances",
+            "replica_refreshes",
+            "replica_reads",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.relocation_time = self.relocation_time.merge(other.relocation_time)
+        merged.blocking_time = self.blocking_time.merge(other.blocking_time)
+        return merged
+
+    @staticmethod
+    def aggregate(metrics: Iterable["PSMetrics"]) -> "PSMetrics":
+        """Sum an iterable of per-node metrics into one cluster-wide object."""
+        total = PSMetrics()
+        for item in metrics:
+            total = total.merge(item)
+        return total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a flat dict of the scalar counters (for reporting)."""
+        return {
+            "pulls_local": self.pulls_local,
+            "pulls_remote": self.pulls_remote,
+            "pushes_local": self.pushes_local,
+            "pushes_remote": self.pushes_remote,
+            "key_reads_local": self.key_reads_local,
+            "key_reads_remote": self.key_reads_remote,
+            "key_writes_local": self.key_writes_local,
+            "key_writes_remote": self.key_writes_remote,
+            "localize_calls": self.localize_calls,
+            "localized_keys": self.localized_keys,
+            "relocations": self.relocations,
+            "mean_relocation_time": self.relocation_time.mean,
+            "mean_blocking_time": self.blocking_time.mean,
+            "queued_ops": self.queued_ops,
+            "forwarded_ops": self.forwarded_ops,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stale": self.cache_stale,
+            "clock_advances": self.clock_advances,
+            "replica_refreshes": self.replica_refreshes,
+            "replica_reads": self.replica_reads,
+        }

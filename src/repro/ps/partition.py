@@ -1,0 +1,145 @@
+"""Key partitioners: static assignment of keys to nodes.
+
+Classic parameter servers allocate parameters statically via a partitioning of
+the key space (range or hash partitioning, §2.2.1).  Lapse uses the same
+static partitioning to assign each key its *home node* (§3.5), while the
+*owner* changes dynamically at run time.
+
+``random_key_mapping`` implements the key-randomization trick from footnote 5
+of the paper: assigning random keys to parameters spreads hot parameters over
+servers when the application's natural key order is skewed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+
+class KeyPartitioner:
+    """Maps every key to the node that statically hosts it."""
+
+    def __init__(self, num_keys: int, num_nodes: int) -> None:
+        if num_keys < 1:
+            raise PartitionError(f"num_keys must be >= 1, got {num_keys}")
+        if num_nodes < 1:
+            raise PartitionError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_keys = num_keys
+        self.num_nodes = num_nodes
+
+    def node_of(self, key: int) -> int:
+        """Return the node statically responsible for ``key``."""
+        raise NotImplementedError
+
+    def keys_of(self, node: int) -> List[int]:
+        """Return all keys statically assigned to ``node``."""
+        self._check_node(node)
+        return [key for key in range(self.num_keys) if self.node_of(key) == node]
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise PartitionError(f"key {key} out of range [0, {self.num_keys})")
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise PartitionError(f"node {node} out of range [0, {self.num_nodes})")
+
+
+class RangePartitioner(KeyPartitioner):
+    """Contiguous, balanced range partitioning of the key space.
+
+    Node ``i`` receives keys ``[i * ceil, min((i+1) * ceil, K))`` where ranges
+    differ in size by at most one key.
+    """
+
+    def __init__(self, num_keys: int, num_nodes: int) -> None:
+        super().__init__(num_keys, num_nodes)
+        base = num_keys // num_nodes
+        remainder = num_keys % num_nodes
+        self._boundaries = []
+        start = 0
+        for node in range(num_nodes):
+            size = base + (1 if node < remainder else 0)
+            self._boundaries.append((start, start + size))
+            start += size
+
+    def node_of(self, key: int) -> int:
+        self._check_key(key)
+        for node, (start, end) in enumerate(self._boundaries):
+            if start <= key < end:
+                return node
+        raise PartitionError(f"key {key} not covered by any range")  # pragma: no cover
+
+    def keys_of(self, node: int) -> List[int]:
+        self._check_node(node)
+        start, end = self._boundaries[node]
+        return list(range(start, end))
+
+    def range_of(self, node: int) -> tuple:
+        """Return the half-open key range ``(start, end)`` of ``node``."""
+        self._check_node(node)
+        return self._boundaries[node]
+
+
+class HashPartitioner(KeyPartitioner):
+    """Deterministic hash partitioning (multiplicative hashing)."""
+
+    _MULTIPLIER = 2654435761  # Knuth's multiplicative hash constant
+
+    def node_of(self, key: int) -> int:
+        self._check_key(key)
+        return ((key * self._MULTIPLIER) & 0xFFFFFFFF) % self.num_nodes
+
+
+class ExplicitPartitioner(KeyPartitioner):
+    """Partitioning given by an explicit key→node assignment array.
+
+    This is what a PS with *parameter location control* exposes: the
+    application decides where each parameter lives (used by the data-clustering
+    PAL technique to place each parameter on the node that accesses it most).
+    """
+
+    def __init__(self, assignment: Sequence[int], num_nodes: int) -> None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        super().__init__(len(assignment), num_nodes)
+        if assignment.size == 0:
+            raise PartitionError("assignment must not be empty")
+        if assignment.min() < 0 or assignment.max() >= num_nodes:
+            raise PartitionError(
+                "assignment contains node ids outside the range "
+                f"[0, {num_nodes})"
+            )
+        self._assignment = assignment
+
+    def node_of(self, key: int) -> int:
+        self._check_key(key)
+        return int(self._assignment[key])
+
+    def keys_of(self, node: int) -> List[int]:
+        self._check_node(node)
+        return np.flatnonzero(self._assignment == node).tolist()
+
+
+def random_key_mapping(num_keys: int, seed: int = 0) -> np.ndarray:
+    """Return a random bijective mapping ``original key -> assigned key``.
+
+    The paper (footnote 5) manually assigns random keys to parameters so that
+    range partitioning spreads frequently accessed parameters evenly across
+    servers.  Applications apply this mapping before talking to the PS.
+    """
+    if num_keys < 1:
+        raise PartitionError(f"num_keys must be >= 1, got {num_keys}")
+    rng = np.random.default_rng(seed)
+    return rng.permutation(num_keys)
+
+
+def make_partitioner(kind: str, num_keys: int, num_nodes: int) -> KeyPartitioner:
+    """Factory for the built-in partitioner kinds (``"range"`` or ``"hash"``)."""
+    if kind == "range":
+        return RangePartitioner(num_keys, num_nodes)
+    if kind == "hash":
+        return HashPartitioner(num_keys, num_nodes)
+    raise PartitionError(f"unknown partitioner kind {kind!r}")

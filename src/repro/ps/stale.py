@@ -1,0 +1,346 @@
+"""Stale parameter server (Petuum-style) with bounded-staleness replicas.
+
+The *stale* PS architecture (§2.1) keeps the static parameter allocation of a
+classic PS but replicates previously-accessed parameters to the nodes that
+accessed them and tolerates bounded staleness in those replicas.  Applications
+drive synchronization with an explicit ``clock`` primitive.
+
+Two synchronization strategies are implemented, mirroring the two Petuum modes
+compared in §4.5:
+
+* **Client-based synchronization (SSP)** — replicas are refreshed lazily: a
+  read may use a replica only if it was fetched at a clock within the
+  staleness bound; otherwise the reading node synchronously fetches a fresh
+  value from the owner.  The number of these synchronous fetches per clock is
+  constant in the number of workers, which is why this mode does not scale.
+* **Server-based synchronization (SSPPush)** — owners remember which nodes
+  accessed each parameter (learned during a warm-up epoch) and proactively
+  push fresh values to all subscribers after every clock advance.  This
+  removes the read latency but causes unnecessary communication because *all*
+  previously accessed parameters are pushed, not just the ones needed next.
+
+Local parameters are accessed through the server thread (inter-thread
+communication), which the paper reports to be several times slower than
+Lapse's shared-memory access — this is captured by
+``CostModel.interthread_access_latency``.
+
+The stale PS provides only eventual consistency for reads of remote
+parameters (Table 1): reads may return values that are up to ``staleness``
+clocks old and writes of other workers become visible only after a flush.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config import message_size
+from repro.errors import ParameterServerError
+from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.ps.futures import OperationHandle
+from repro.ps.messages import (
+    FlushAck,
+    ReplicaFetchRequest,
+    ReplicaFetchResponse,
+    ReplicaPush,
+    UpdateFlush,
+)
+from repro.simnet.events import Event
+
+
+class StaleNodeState(NodeState):
+    """Adds replica store, subscription table, and flush bookkeeping."""
+
+    def __init__(self, ps: "StalePS", node) -> None:
+        super().__init__(ps, node)
+        #: Replicas of remote parameters: key -> [value, fetched_at_clock].
+        self.replicas: Dict[int, List[Any]] = {}
+        #: Server side: nodes that accessed each locally-owned key (SSPPush).
+        self.subscriptions: Dict[int, Set[int]] = defaultdict(set)
+        #: Server side: number of update flushes received per clock value.
+        self.flush_counts: Dict[int, int] = defaultdict(int)
+        #: Pending flush acknowledgements: op id -> event.
+        self.pending_flush_acks: Dict[int, Event] = {}
+        #: Pending replica fetches: op id -> (handle, keys).
+        self.pending_fetches: Dict[int, Tuple[OperationHandle, Tuple[int, ...]]] = {}
+
+
+class StaleWorkerClient(WorkerClient):
+    """Client of the stale PS: replica reads, buffered writes, clock-driven flushes."""
+
+    state: StaleNodeState
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Updates accumulated since the last clock, keyed by parameter key.
+        self._write_buffer: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------- pull
+    def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
+        state = self.state
+        metrics = state.metrics
+        cost = self.ps.cluster.cost_model
+        staleness = self.ps.ps_config.staleness_bound
+        local_keys: List[int] = []
+        replica_keys: List[int] = []
+        fetch_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in keys:
+            owner = self.ps.partitioner.node_of(key)
+            if owner == self.node_id:
+                local_keys.append(key)
+            elif key in state.replicas and state.replicas[key][1] >= self._clock - staleness:
+                replica_keys.append(key)
+            else:
+                fetch_groups[owner].append(key)
+        if local_keys:
+            metrics.key_reads_local += len(local_keys)
+            delay = cost.interthread_access_latency * len(local_keys)
+            self._complete_after(
+                delay,
+                lambda keys=tuple(local_keys): handle.complete_keys(
+                    keys, np.vstack([state.read_local(k) for k in keys])
+                ),
+            )
+        if replica_keys:
+            metrics.key_reads_local += len(replica_keys)
+            metrics.replica_reads += len(replica_keys)
+            delay = cost.interthread_access_latency * len(replica_keys)
+            self._complete_after(
+                delay,
+                lambda keys=tuple(replica_keys): handle.complete_keys(
+                    keys, np.vstack([state.replicas[k][0].copy() for k in keys])
+                ),
+            )
+        for owner, owner_keys in fetch_groups.items():
+            metrics.key_reads_remote += len(owner_keys)
+            self._send_fetch(handle, owner, owner_keys)
+        if fetch_groups:
+            metrics.pulls_remote += 1
+        else:
+            metrics.pulls_local += 1
+
+    def _send_fetch(
+        self, handle: OperationHandle, owner: int, keys: List[int]
+    ) -> None:
+        chunks = [keys] if self.ps.ps_config.message_grouping else [[k] for k in keys]
+        for chunk in chunks:
+            op_id = self.ps.next_op_id()
+            self.state.pending_fetches[op_id] = (handle, tuple(chunk))
+            request = ReplicaFetchRequest(
+                op_id=op_id,
+                keys=tuple(chunk),
+                requester_node=self.node_id,
+                reply_to=van_address(self.node_id),
+                clock=self._clock,
+            )
+            self.ps.send_to_server(
+                self.node_id, owner, request, message_size(len(chunk), 0)
+            )
+
+    # ------------------------------------------------------------------- push
+    def _issue_push(
+        self,
+        handle: OperationHandle,
+        keys: Tuple[int, ...],
+        updates: np.ndarray,
+        needs_ack: bool,
+    ) -> None:
+        state = self.state
+        metrics = state.metrics
+        cost = self.ps.cluster.cost_model
+        delay = cost.interthread_access_latency * len(keys)
+
+        def action() -> None:
+            for index, key in enumerate(keys):
+                owner = self.ps.partitioner.node_of(key)
+                update = updates[index]
+                if owner == self.node_id:
+                    state.write_local(key, update)
+                    metrics.key_writes_local += 1
+                else:
+                    buffered = self._write_buffer.get(key)
+                    if buffered is None:
+                        self._write_buffer[key] = update.copy()
+                    else:
+                        self._write_buffer[key] = buffered + update
+                    # Make own writes visible locally within the staleness window.
+                    if key in state.replicas:
+                        state.replicas[key][0] = state.replicas[key][0] + update
+                    metrics.key_writes_local += 1
+            handle.complete_keys(keys)
+
+        metrics.pushes_local += 1
+        self._complete_after(delay, action)
+
+    # ------------------------------------------------------------------ clock
+    def clock(self) -> Generator:
+        """Advance this worker's clock: flush buffered updates to their owners.
+
+        One (possibly empty) flush message is sent to every other node so that
+        owners can track clock progress; the call blocks until all flushes are
+        acknowledged.  This per-clock synchronization cost is constant in the
+        number of workers, reproducing why client-based synchronization does
+        not scale (§4.5).
+        """
+        self._clock += 1
+        self.state.metrics.clock_advances += 1
+        groups: Dict[int, Dict[int, np.ndarray]] = defaultdict(dict)
+        for key, update in self._write_buffer.items():
+            owner = self.ps.partitioner.node_of(key)
+            groups[owner][key] = update
+        self._write_buffer = {}
+        ack_events: List[Event] = []
+        for node in range(self.ps.cluster.num_nodes):
+            if node == self.node_id:
+                continue
+            node_updates = groups.get(node, {})
+            keys = tuple(sorted(node_updates.keys()))
+            if keys:
+                updates = np.vstack([node_updates[key] for key in keys])
+            else:
+                updates = np.zeros((0, self.value_length))
+            op_id = self.ps.next_op_id()
+            event = Event(self.sim)
+            self.state.pending_flush_acks[op_id] = event
+            ack_events.append(event)
+            flush = UpdateFlush(
+                op_id=op_id,
+                keys=keys,
+                updates=updates,
+                source_node=self.node_id,
+                clock=self._clock,
+                reply_to=van_address(self.node_id),
+            )
+            self.ps.send_to_server(
+                self.node_id, node, flush, message_size(len(keys), updates.size)
+            )
+        # The worker's own node needs no network flush, but its clock arrival
+        # still counts toward the per-clock flush quota of the local server.
+        self.ps.record_local_clock(self.state, self._clock)
+        for event in ack_events:
+            yield event
+        return None
+
+
+class StalePS(ParameterServer):
+    """Petuum-style stale parameter server with SSP / SSPPush synchronization."""
+
+    client_class = StaleWorkerClient
+    name = "stale"
+
+    def _make_node_state(self, node) -> StaleNodeState:
+        return StaleNodeState(self, node)
+
+    @property
+    def server_push(self) -> bool:
+        """Whether server-based synchronization (SSPPush) is enabled."""
+        return self.ps_config.stale_server_push
+
+    # ------------------------------------------------------------ server loop
+    def _server_loop(self, state: StaleNodeState) -> Generator:  # type: ignore[override]
+        cost = self.cluster.cost_model
+        while True:
+            message = yield state.node.server_inbox.get()
+            yield cost.server_processing_time
+            if isinstance(message, ReplicaFetchRequest):
+                self._handle_fetch(state, message)
+            elif isinstance(message, UpdateFlush):
+                self._handle_flush(state, message)
+            elif isinstance(message, ReplicaPush):
+                self._handle_replica_push(state, message)
+            else:
+                raise ParameterServerError(
+                    f"stale PS server on node {state.node_id} received unexpected "
+                    f"message {message!r}"
+                )
+
+    def _handle_fetch(self, state: StaleNodeState, request: ReplicaFetchRequest) -> None:
+        values = []
+        for key in request.keys:
+            if not state.storage.contains(key):
+                raise ParameterServerError(
+                    f"stale PS node {state.node_id} asked for key {key} it does not own"
+                )
+            values.append(state.read_local(key))
+            if self.server_push:
+                state.subscriptions[key].add(request.requester_node)
+        response = ReplicaFetchResponse(
+            op_id=request.op_id,
+            keys=request.keys,
+            values=np.vstack(values),
+            clock=request.clock,
+            responder_node=state.node_id,
+        )
+        size = message_size(len(request.keys), len(request.keys) * self.ps_config.value_length)
+        self.network.send(state.node_id, request.reply_to, response, size)
+
+    def _handle_flush(self, state: StaleNodeState, flush: UpdateFlush) -> None:
+        for index, key in enumerate(flush.keys):
+            if not state.storage.contains(key):
+                raise ParameterServerError(
+                    f"stale PS node {state.node_id} received an update for key {key} "
+                    "it does not own"
+                )
+            state.write_local(key, flush.updates[index])
+        if flush.reply_to is not None:
+            ack = FlushAck(
+                op_id=flush.op_id, clock=flush.clock, responder_node=state.node_id
+            )
+            self.network.send(state.node_id, flush.reply_to, ack, message_size(0, 0))
+        self._record_clock_arrival(state, flush.clock)
+
+    def record_local_clock(self, state: StaleNodeState, clock: int) -> None:
+        """Count a clock arrival from a worker co-located with this server."""
+        self._record_clock_arrival(state, clock)
+
+    def _record_clock_arrival(self, state: StaleNodeState, clock: int) -> None:
+        state.flush_counts[clock] += 1
+        if state.flush_counts[clock] == self.cluster.total_workers and self.server_push:
+            self._push_replicas(state, clock)
+
+    def _push_replicas(self, state: StaleNodeState, clock: int) -> None:
+        """SSPPush: send fresh values of all subscribed keys to every subscriber."""
+        per_subscriber: Dict[int, List[int]] = defaultdict(list)
+        for key, subscribers in state.subscriptions.items():
+            for node in subscribers:
+                if node != state.node_id:
+                    per_subscriber[node].append(key)
+        for node, keys in per_subscriber.items():
+            keys = sorted(keys)
+            values = np.vstack([state.read_local(key) for key in keys])
+            push = ReplicaPush(
+                keys=tuple(keys),
+                values=values,
+                clock=clock,
+                responder_node=state.node_id,
+            )
+            self.send_to_server(
+                state.node_id, node, push, message_size(len(keys), values.size)
+            )
+
+    def _handle_replica_push(self, state: StaleNodeState, push: ReplicaPush) -> None:
+        for index, key in enumerate(push.keys):
+            state.replicas[key] = [push.values[index].copy(), push.clock]
+        state.metrics.replica_refreshes += len(push.keys)
+
+    # -------------------------------------------------------------------- van
+    def _handle_extra_van_message(self, state: StaleNodeState, message: Any) -> None:  # type: ignore[override]
+        if isinstance(message, ReplicaFetchResponse):
+            entry = state.pending_fetches.pop(message.op_id, None)
+            if entry is None:
+                return
+            handle, keys = entry
+            for index, key in enumerate(message.keys):
+                state.replicas[key] = [message.values[index].copy(), message.clock]
+            handle.complete_keys(message.keys, message.values)
+        elif isinstance(message, FlushAck):
+            event = state.pending_flush_acks.pop(message.op_id, None)
+            if event is not None:
+                event.succeed(None)
+        else:
+            raise ParameterServerError(
+                f"stale PS van on node {state.node_id} received unexpected "
+                f"message {message!r}"
+            )

@@ -1,0 +1,241 @@
+"""Local parameter stores.
+
+Each simulated node keeps the parameters it currently *owns* in a local store.
+As in Lapse (§3.7), two variants are provided:
+
+* :class:`DenseStorage` — a contiguous NumPy array indexed by key, suitable
+  when the key space is contiguous and mostly resident (classic/stale PS, or
+  Lapse on a single node),
+* :class:`SparseStorage` — a dict of per-key vectors, suitable when a node
+  holds an arbitrary, changing subset of the key space (Lapse with dynamic
+  parameter allocation).
+
+Both guarantee per-key atomic reads and cumulative writes; a
+:class:`LatchTable` models the fixed pool of latches (default 1000) that Lapse
+uses to synchronize local access without a global lock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class LatchTable:
+    """A fixed pool of latches with a many-to-one key→latch mapping.
+
+    The simulation is cooperatively scheduled, so latches never actually
+    block; the table exists to (a) model the acquisition cost and (b) expose
+    the key→latch mapping so tests can verify that distinct keys may share a
+    latch while one key always maps to the same latch.
+    """
+
+    def __init__(self, num_latches: int = 1000) -> None:
+        if num_latches < 1:
+            raise StorageError(f"num_latches must be >= 1, got {num_latches}")
+        self.num_latches = num_latches
+        self.acquisitions = 0
+
+    def latch_for(self, key: int) -> int:
+        """Return the latch index guarding ``key``."""
+        return key % self.num_latches
+
+    def acquire(self, key: int) -> int:
+        """Record an acquisition of the latch for ``key`` and return its index."""
+        self.acquisitions += 1
+        return self.latch_for(key)
+
+
+class ParameterStorage:
+    """Interface shared by dense and sparse local parameter stores.
+
+    Values are float64 vectors of a fixed per-store length.  ``get`` returns a
+    copy (parameters are copied out of and back into the store, as the paper
+    notes for PS architectures in §4.4); ``add`` applies a cumulative update
+    in place.
+    """
+
+    value_length: int
+
+    def contains(self, key: int) -> bool:
+        raise NotImplementedError
+
+    def get(self, key: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def set(self, key: int, value: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def add(self, key: int, update: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def insert(self, key: int, value: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def remove(self, key: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[int]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(key)
+
+    def _check_value(self, key: int, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != (self.value_length,):
+            raise StorageError(
+                f"value for key {key} has shape {value.shape}, "
+                f"expected ({self.value_length},)"
+            )
+        return value
+
+
+class DenseStorage(ParameterStorage):
+    """Array-backed store over a contiguous key range.
+
+    A membership mask tracks which keys are currently resident so that dense
+    storage can also be used by Lapse nodes (whose resident set changes).
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        value_length: int,
+        initial_keys: Optional[Iterable[int]] = None,
+    ) -> None:
+        if num_keys < 1:
+            raise StorageError(f"num_keys must be >= 1, got {num_keys}")
+        if value_length < 1:
+            raise StorageError(f"value_length must be >= 1, got {value_length}")
+        self.num_keys = num_keys
+        self.value_length = value_length
+        self._values = np.zeros((num_keys, value_length), dtype=np.float64)
+        self._present = np.zeros(num_keys, dtype=bool)
+        if initial_keys is not None:
+            for key in initial_keys:
+                self._check_key(key)
+                self._present[key] = True
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise StorageError(f"key {key} out of range [0, {self.num_keys})")
+
+    def contains(self, key: int) -> bool:
+        self._check_key(key)
+        return bool(self._present[key])
+
+    def get(self, key: int) -> np.ndarray:
+        if not self.contains(key):
+            raise StorageError(f"key {key} is not resident in this store")
+        return self._values[key].copy()
+
+    def set(self, key: int, value: np.ndarray) -> None:
+        if not self.contains(key):
+            raise StorageError(f"key {key} is not resident in this store")
+        self._values[key] = self._check_value(key, value)
+
+    def add(self, key: int, update: np.ndarray) -> None:
+        if not self.contains(key):
+            raise StorageError(f"key {key} is not resident in this store")
+        self._values[key] += self._check_value(key, update)
+
+    def insert(self, key: int, value: np.ndarray) -> None:
+        self._check_key(key)
+        if self._present[key]:
+            raise StorageError(f"key {key} is already resident; cannot insert twice")
+        value = self._check_value(key, value)
+        self._present[key] = True
+        self._values[key] = value
+
+    def remove(self, key: int) -> np.ndarray:
+        value = self.get(key)
+        self._present[key] = False
+        self._values[key] = 0.0
+        return value
+
+    def keys(self) -> Iterator[int]:
+        return iter(np.flatnonzero(self._present).tolist())
+
+    def __len__(self) -> int:
+        return int(self._present.sum())
+
+
+class SparseStorage(ParameterStorage):
+    """Dict-backed store holding an arbitrary subset of the key space."""
+
+    def __init__(
+        self,
+        num_keys: int,
+        value_length: int,
+        initial_keys: Optional[Iterable[int]] = None,
+    ) -> None:
+        if num_keys < 1:
+            raise StorageError(f"num_keys must be >= 1, got {num_keys}")
+        if value_length < 1:
+            raise StorageError(f"value_length must be >= 1, got {value_length}")
+        self.num_keys = num_keys
+        self.value_length = value_length
+        self._values: Dict[int, np.ndarray] = {}
+        if initial_keys is not None:
+            for key in initial_keys:
+                self._check_key(key)
+                self._values[key] = np.zeros(value_length, dtype=np.float64)
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise StorageError(f"key {key} out of range [0, {self.num_keys})")
+
+    def contains(self, key: int) -> bool:
+        self._check_key(key)
+        return key in self._values
+
+    def get(self, key: int) -> np.ndarray:
+        if not self.contains(key):
+            raise StorageError(f"key {key} is not resident in this store")
+        return self._values[key].copy()
+
+    def set(self, key: int, value: np.ndarray) -> None:
+        if not self.contains(key):
+            raise StorageError(f"key {key} is not resident in this store")
+        self._values[key] = self._check_value(key, value)
+
+    def add(self, key: int, update: np.ndarray) -> None:
+        if not self.contains(key):
+            raise StorageError(f"key {key} is not resident in this store")
+        self._values[key] = self._values[key] + self._check_value(key, update)
+
+    def insert(self, key: int, value: np.ndarray) -> None:
+        self._check_key(key)
+        if key in self._values:
+            raise StorageError(f"key {key} is already resident; cannot insert twice")
+        self._values[key] = self._check_value(key, value)
+
+    def remove(self, key: int) -> np.ndarray:
+        value = self.get(key)
+        del self._values[key]
+        return value
+
+    def keys(self) -> Iterator[int]:
+        return iter(sorted(self._values.keys()))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def make_storage(
+    dense: bool,
+    num_keys: int,
+    value_length: int,
+    initial_keys: Optional[Iterable[int]] = None,
+) -> ParameterStorage:
+    """Build a dense or sparse store according to the PS configuration."""
+    if dense:
+        return DenseStorage(num_keys, value_length, initial_keys)
+    return SparseStorage(num_keys, value_length, initial_keys)

@@ -1,0 +1,166 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a one-shot occurrence with an optional value.  Processes
+wait on events by yielding them; the simulator resumes the process when the
+event is processed.  :class:`Timeout` is an event that triggers after a fixed
+simulated delay.  :class:`AllOf` / :class:`AnyOf` combine several events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.kernel import Simulator
+
+
+class Event:
+    """A one-shot simulation event.
+
+    Events move through three stages: *pending* (created), *triggered*
+    (scheduled on the event queue via :meth:`succeed` or :meth:`fail`), and
+    *processed* (popped from the queue; callbacks have run).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks invoked (with the event) when the event is processed.
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled for processing."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event completed successfully (only valid once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed`."""
+        if not self._triggered:
+            raise SimulationError("event value accessed before the event was triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception passed to :meth:`fail`, if any."""
+        return self._exception
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` simulated seconds."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._enqueue(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with a failure after ``delay`` simulated seconds."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._enqueue(self, delay)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.succeed(value=value, delay=delay)
+
+
+class _Condition(Event):
+    """Base class for events that fire based on a set of child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("all events of a condition must share a simulator")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(value=[])
+            return
+        for event in self.events:
+            if event.processed:
+                self._child_done(event)
+            else:
+                event.callbacks.append(self._child_done)
+
+    def _child_done(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Event that triggers when *all* child events have been processed.
+
+    Its value is the list of child values in the order the children were given.
+    """
+
+    __slots__ = ()
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(value=[child.value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Event that triggers when *any* child event has been processed.
+
+    Its value is the value of the first child that completed.
+    """
+
+    __slots__ = ()
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self.succeed(value=event.value)

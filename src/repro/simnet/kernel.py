@@ -1,0 +1,127 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` keeps a priority queue of triggered events and advances the
+simulated clock from event to event.  Events scheduled for the same simulated
+time are processed in the order they were triggered, which makes simulations
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simnet.events import Event, Timeout
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+
+        def worker():
+            yield 1.0              # wait one simulated second
+            return "done"
+
+        proc = sim.process(worker())
+        sim.run()
+        assert sim.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of triggered-but-unprocessed events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ events
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> "Process":
+        """Start a new simulation process from a generator."""
+        from repro.simnet.process import Process
+
+        return Process(self, generator, name=name)
+
+    def _enqueue(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    # ------------------------------------------------------------------ running
+    def step(self) -> None:
+        """Process the next event, advancing simulated time."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event queue produced a time in the past")
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue is empty or ``until`` is reached.
+
+        Args:
+            until: Optional simulated time at which to stop.  If the queue
+                empties earlier, the simulation stops there.
+
+        Returns:
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}, which is before current time {self._now}"
+            )
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._queue[0][0]
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, generator: Generator, name: Optional[str] = None) -> Any:
+        """Start a process, run the simulation to completion, return its value.
+
+        Convenience wrapper used heavily by tests and examples.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.processed:
+            raise SimulationError(
+                f"process {proc!r} did not finish; it is likely deadlocked"
+            )
+        return proc.value

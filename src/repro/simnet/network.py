@@ -1,0 +1,163 @@
+"""Point-to-point network model with ordered delivery and a cost model.
+
+The network connects *addresses* (arbitrary hashable identifiers, e.g.
+``("server", 2)`` or ``("worker", 2, 1)``).  Each address is backed by a
+:class:`~repro.simnet.queues.MessageQueue`.  Sending a message charges the
+:class:`~repro.config.CostModel`:
+
+* remote messages (different nodes): ``network_latency + size / bandwidth``,
+* local messages (same node, e.g. a worker talking to its co-located server
+  thread through inter-process communication): ``ipc_access_latency``.
+
+Delivery on each directed node pair is FIFO — a message sent earlier is never
+delivered after one sent later on the same channel.  This mirrors the paper's
+assumption that the network layer (TCP in PS-Lite and Lapse) preserves message
+order, which both consistency theorems rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Optional, Tuple
+
+from repro.config import CostModel
+from repro.errors import NetworkError
+from repro.simnet.queues import MessageQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.kernel import Simulator
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters maintained by :class:`Network`.
+
+    Attributes:
+        messages_sent: Total number of messages (local + remote).
+        remote_messages: Messages that crossed node boundaries.
+        local_messages: Messages delivered within a node (IPC loopback).
+        bytes_sent: Total payload bytes of remote messages.
+        per_channel_messages: Remote message counts keyed by (src_node, dst_node).
+    """
+
+    messages_sent: int = 0
+    remote_messages: int = 0
+    local_messages: int = 0
+    bytes_sent: int = 0
+    per_channel_messages: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src_node: int, dst_node: int, size_bytes: int) -> None:
+        """Record one message from ``src_node`` to ``dst_node``."""
+        self.messages_sent += 1
+        if src_node == dst_node:
+            self.local_messages += 1
+            return
+        self.remote_messages += 1
+        self.bytes_sent += size_bytes
+        channel = (src_node, dst_node)
+        self.per_channel_messages[channel] = self.per_channel_messages.get(channel, 0) + 1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: payload plus routing metadata."""
+
+    src_node: int
+    dst_node: int
+    dst_address: Hashable
+    payload: Any
+    size_bytes: int
+    sent_at: float
+
+
+class Network:
+    """The simulated cluster interconnect.
+
+    Addresses must be registered before they can receive messages.  The same
+    network object is shared by all nodes of a cluster.
+    """
+
+    def __init__(self, sim: "Simulator", cost_model: Optional[CostModel] = None) -> None:
+        self.sim = sim
+        self.cost_model = cost_model or CostModel()
+        self.stats = NetworkStats()
+        self._mailboxes: Dict[Hashable, MessageQueue] = {}
+        self._address_node: Dict[Hashable, int] = {}
+        self._channel_clock: Dict[Tuple[int, int], float] = {}
+
+    # --------------------------------------------------------------- addresses
+    def register(self, address: Hashable, node: int) -> MessageQueue:
+        """Register ``address`` on ``node`` and return its inbox queue."""
+        if address in self._mailboxes:
+            raise NetworkError(f"address {address!r} is already registered")
+        mailbox = MessageQueue(self.sim)
+        self._mailboxes[address] = mailbox
+        self._address_node[address] = node
+        return mailbox
+
+    def mailbox(self, address: Hashable) -> MessageQueue:
+        """Return the inbox of ``address``."""
+        try:
+            return self._mailboxes[address]
+        except KeyError:
+            raise NetworkError(f"unknown address {address!r}") from None
+
+    def node_of(self, address: Hashable) -> int:
+        """Return the node hosting ``address``."""
+        try:
+            return self._address_node[address]
+        except KeyError:
+            raise NetworkError(f"unknown address {address!r}") from None
+
+    # ----------------------------------------------------------------- sending
+    def send(
+        self,
+        src_node: int,
+        dst_address: Hashable,
+        payload: Any,
+        size_bytes: int,
+    ) -> Envelope:
+        """Send ``payload`` to ``dst_address``, charging the cost model.
+
+        The message is delivered into the destination's mailbox after the
+        appropriate simulated delay.  Delivery order per directed node pair is
+        FIFO.
+
+        Returns:
+            The :class:`Envelope` describing the in-flight message (useful for
+            tests and tracing).
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"message size must be non-negative, got {size_bytes}")
+        dst_node = self.node_of(dst_address)
+        envelope = Envelope(
+            src_node=src_node,
+            dst_node=dst_node,
+            dst_address=dst_address,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+        )
+        self.stats.record(src_node, dst_node, size_bytes)
+        delay = self._delivery_delay(src_node, dst_node, size_bytes)
+        deliver_at = self._fifo_delivery_time(src_node, dst_node, delay)
+        event = self.sim.event()
+        event.callbacks.append(lambda _evt, env=envelope: self._deliver(env))
+        event.succeed(delay=deliver_at - self.sim.now)
+        return envelope
+
+    def _delivery_delay(self, src_node: int, dst_node: int, size_bytes: int) -> float:
+        if src_node == dst_node:
+            return self.cost_model.ipc_access_latency
+        return self.cost_model.message_time(size_bytes)
+
+    def _fifo_delivery_time(self, src_node: int, dst_node: int, delay: float) -> float:
+        channel = (src_node, dst_node)
+        earliest = self.sim.now + delay
+        last = self._channel_clock.get(channel, 0.0)
+        deliver_at = max(earliest, last)
+        self._channel_clock[channel] = deliver_at
+        return deliver_at
+
+    def _deliver(self, envelope: Envelope) -> None:
+        self._mailboxes[envelope.dst_address].put(envelope.payload)

@@ -1,0 +1,97 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator *yields* the things it
+wants to wait for:
+
+* an :class:`~repro.simnet.events.Event` — resume when the event is processed,
+  receiving the event's value (or having its exception thrown in),
+* a ``float``/``int`` — shorthand for a :class:`Timeout` of that many seconds,
+* another :class:`Process` — resume when that process finishes.
+
+A :class:`Process` is itself an event: it triggers with the generator's return
+value when the generator completes, so processes can wait for each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import ProcessError
+from repro.simnet.events import Event, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.kernel import Simulator
+
+
+class Process(Event):
+    """A running simulation process (and the event of its completion)."""
+
+    __slots__ = ("name", "_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ProcessError(
+                "Process requires a generator; did you call the generator function?"
+            )
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                yielded = self._generator.send(event.value)
+            else:
+                yielded = self._generator.throw(event.exception)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            # Fail the completion event so that waiting processes see the
+            # exception; if nobody is waiting, surface it immediately so bugs
+            # in simulation code do not silently vanish.
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        self._wait_on(self._to_event(yielded))
+
+    def _wait_on(self, target: Event) -> None:
+        self._waiting_on = target
+        if target.processed:
+            # The target already happened (e.g. an immediately-available queue
+            # item processed earlier this step); resume via a zero-delay event
+            # to keep resumption ordering consistent.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                relay.fail(target.exception)  # type: ignore[arg-type]
+        else:
+            target.callbacks.append(self._resume)
+
+    def _to_event(self, yielded: Any) -> Event:
+        if isinstance(yielded, Event):
+            if yielded.sim is not self.sim:
+                raise ProcessError("process yielded an event from a different simulator")
+            return yielded
+        if isinstance(yielded, (int, float)) and not isinstance(yielded, bool):
+            return Timeout(self.sim, float(yielded))
+        raise ProcessError(
+            f"process {self.name!r} yielded an unsupported object: {yielded!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "finished" if self.triggered else "running"
+        return f"<Process {self.name!r} {state}>"

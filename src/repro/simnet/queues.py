@@ -1,0 +1,66 @@
+"""FIFO message queues for communication between simulation processes.
+
+:class:`MessageQueue` is the simulated analogue of an in-memory channel or a
+thread-safe queue: producers :meth:`put` items (instantaneously), consumers
+:meth:`get` an event that triggers as soon as an item is available.  Items are
+delivered in FIFO order; if several consumers are waiting, they are served in
+the order they asked.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque
+
+from repro.simnet.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.kernel import Simulator
+
+
+class MessageQueue:
+    """An unbounded FIFO queue connecting simulation processes."""
+
+    __slots__ = ("sim", "_items", "_getters", "_total_put")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._total_put = 0
+
+    def __len__(self) -> int:
+        """Number of items currently buffered (not yet handed to a getter)."""
+        return len(self._items)
+
+    @property
+    def total_put(self) -> int:
+        """Total number of items ever put into the queue."""
+        return self._total_put
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of get() events currently waiting for an item."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Add ``item`` to the queue, waking the oldest waiting getter if any."""
+        self._total_put += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> list:
+        """Return a snapshot of the currently buffered items (for inspection)."""
+        return list(self._items)

@@ -1,0 +1,248 @@
+"""Tests for the consistency checkers, including cross-checking against an
+exhaustive search and end-to-end checks of the PS implementations (Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.consistency import (
+    History,
+    UpdateTagger,
+    check_eventual,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_sequential,
+    check_sequential_exhaustive,
+    check_writes_follow_reads,
+    consistency_report,
+)
+from repro.consistency.checkers import check_causal
+from repro.ps import ClassicPS, LapsePS, StalePS
+
+
+def _push(history, worker, seq, push_id, t):
+    history.record_push(worker_id=worker, sequence=seq, invoked_at=t, completed_at=t + 0.5, push_id=push_id)
+
+
+def _pull(history, worker, seq, observed_ids, t):
+    value = float(sum(2**i for i in observed_ids))
+    history.record_pull(worker_id=worker, sequence=seq, invoked_at=t, completed_at=t + 0.5, value=value)
+
+
+class TestCheckersOnHandCraftedHistories:
+    def test_empty_history_satisfies_everything(self):
+        history = History(key=0)
+        assert check_eventual(history).ok
+        assert check_sequential(history).ok
+        assert check_sequential_exhaustive(history).ok
+
+    def test_simple_sequential_history(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[0], t=1.0)
+        _pull(history, worker=1, seq=1, observed_ids=[0], t=2.0)
+        assert check_sequential(history).ok
+        assert check_sequential_exhaustive(history).ok
+        assert check_causal(history).ok
+
+    def test_monotonic_reads_violation(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[0], t=1.0)
+        _pull(history, worker=1, seq=1, observed_ids=[], t=2.0)  # lost the push
+        assert not check_monotonic_reads(history).ok
+        assert not check_sequential(history).ok
+        assert not check_sequential_exhaustive(history).ok
+
+    def test_read_your_writes_violation(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=0, seq=1, observed_ids=[], t=1.0)
+        assert not check_read_your_writes(history).ok
+        assert not check_sequential(history).ok
+
+    def test_monotonic_writes_violation(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _push(history, worker=0, seq=1, push_id=1, t=1.0)
+        # A pull that sees the second push but not the first.
+        _pull(history, worker=1, seq=0, observed_ids=[1], t=2.0)
+        assert not check_monotonic_writes(history).ok
+        assert not check_sequential(history).ok
+
+    def test_writes_follow_reads_violation(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[0], t=1.0)
+        _push(history, worker=1, seq=1, push_id=1, t=2.0)
+        # A pull that sees push 1 (which causally depends on push 0) but not push 0.
+        _pull(history, worker=2, seq=0, observed_ids=[1], t=3.0)
+        assert not check_writes_follow_reads(history).ok
+        assert not check_sequential(history).ok
+
+    def test_incomparable_reads_not_sequential_but_eventual(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _push(history, worker=1, seq=0, push_id=1, t=0.0)
+        # Concurrent (non-quiescent) reads that observe incomparable push sets.
+        _pull(history, worker=2, seq=0, observed_ids=[0], t=0.1)
+        _pull(history, worker=3, seq=0, observed_ids=[1], t=0.1)
+        # Final quiescent reads see everything.
+        _pull(history, worker=2, seq=1, observed_ids=[0, 1], t=10.0)
+        _pull(history, worker=3, seq=1, observed_ids=[0, 1], t=10.0)
+        assert check_eventual(history).ok
+        assert not check_sequential(history).ok
+        assert not check_sequential_exhaustive(history).ok
+
+    def test_eventual_violation(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[], t=10.0)  # after quiescence
+        assert not check_eventual(history).ok
+
+    def test_exhaustive_rejects_large_histories(self):
+        history = History(key=0)
+        for i in range(7):
+            _push(history, worker=0, seq=i, push_id=i, t=float(i))
+        for i in range(7):
+            _pull(history, worker=1, seq=i, observed_ids=list(range(i + 1)), t=10.0 + i)
+        result = check_sequential_exhaustive(history, max_operations=10)
+        assert not result.ok
+        assert "limited" in result.reason
+
+    def test_consistency_report_structure(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[0], t=1.0)
+        report = consistency_report([history])
+        assert report == {
+            "eventual": True,
+            "client-centric": True,
+            "causal": True,
+            "sequential": True,
+        }
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_property_graph_checker_agrees_with_exhaustive_search(data):
+    """The constraint-graph checker and brute-force search agree on small random histories."""
+    num_pushes = data.draw(st.integers(min_value=1, max_value=3))
+    num_pulls = data.draw(st.integers(min_value=1, max_value=3))
+    history = History(key=0)
+    sequences = {0: 0, 1: 0, 2: 0}
+    for push_id in range(num_pushes):
+        worker = data.draw(st.integers(min_value=0, max_value=2))
+        _push(history, worker=worker, seq=sequences[worker], push_id=push_id, t=float(push_id))
+        sequences[worker] += 1
+    for _ in range(num_pulls):
+        worker = data.draw(st.integers(min_value=0, max_value=2))
+        observed = data.draw(st.sets(st.integers(min_value=0, max_value=num_pushes - 1)))
+        _pull(history, worker=worker, seq=sequences[worker], observed_ids=sorted(observed), t=5.0)
+        sequences[worker] += 1
+    graph_result = check_sequential(history)
+    exhaustive_result = check_sequential_exhaustive(history, max_operations=20)
+    assert graph_result.ok == exhaustive_result.ok
+
+
+def run_counter_workload(ps, pushes_per_worker=4, use_localize=False, sync_ops=True):
+    """Every worker alternates tagged pushes and pulls on key 0; returns the history."""
+    history = History(key=0)
+    tagger = UpdateTagger()
+    tags = {}
+    num_workers = ps.cluster.total_workers
+    for worker in range(num_workers):
+        for i in range(pushes_per_worker):
+            tags[(worker, i)] = tagger.next_update()
+
+    def worker_fn(client, worker_id):
+        sequence = 0
+        records = []
+        for i in range(pushes_per_worker):
+            if use_localize and i % 2 == 0:
+                yield from client.localize([0])
+            push_id, value = tags[(worker_id, i)]
+            update = np.zeros((1, ps.ps_config.value_length))
+            update[0, 0] = value
+            invoked = client.sim.now
+            if sync_ops:
+                yield from client.push([0], update)
+            else:
+                handle = client.push_async([0], update, needs_ack=True)
+                yield from client.wait(handle)
+            records.append(("push", sequence, invoked, client.sim.now, push_id, None))
+            sequence += 1
+            invoked = client.sim.now
+            values = yield from client.pull([0])
+            records.append(("pull", sequence, invoked, client.sim.now, None, values[0, 0]))
+            sequence += 1
+        return records
+
+    results = ps.run_workers(worker_fn)
+    for worker_id, records in enumerate(results):
+        for kind, sequence, invoked, completed, push_id, value in records:
+            if kind == "push":
+                history.record_push(worker_id, sequence, invoked, completed, push_id)
+            else:
+                history.record_pull(worker_id, sequence, invoked, completed, value)
+    return history
+
+
+class TestTable1EndToEnd:
+    """Empirical spot checks of the Table 1 consistency claims."""
+
+    def _cluster(self):
+        return ClusterConfig(num_nodes=3, workers_per_node=2, seed=5)
+
+    def _config(self, **kwargs):
+        return ParameterServerConfig(num_keys=4, value_length=2, **kwargs)
+
+    def test_classic_ps_sync_is_sequential(self):
+        ps = ClassicPS(self._cluster(), self._config())
+        history = run_counter_workload(ps)
+        assert check_sequential(history).ok
+        assert check_eventual(history).ok
+
+    def test_lapse_sync_with_relocations_is_sequential(self):
+        ps = LapsePS(self._cluster(), self._config())
+        history = run_counter_workload(ps, use_localize=True)
+        assert check_sequential(history).ok
+        assert check_eventual(history).ok
+        assert ps.metrics().relocations > 0
+
+    def test_lapse_without_caches_async_is_sequential(self):
+        ps = LapsePS(self._cluster(), self._config(location_caches=False))
+        history = run_counter_workload(ps, use_localize=True, sync_ops=False)
+        assert check_sequential(history).ok
+
+    def test_stale_ps_is_eventual_but_reads_can_be_stale(self):
+        ps = StalePS(self._cluster(), self._config(staleness_bound=1))
+        # Workload: one worker pushes, another reads without clocking; the
+        # reader's replica may legitimately miss the push (bounded staleness),
+        # so sequential consistency does not hold in general, while the final
+        # state (after clocks) is correct.
+        tagger = UpdateTagger()
+        push_id, value = tagger.next_update()
+        observed = {}
+
+        def worker_fn(client, worker_id):
+            if worker_id == 0:
+                update = np.zeros((1, 2))
+                update[0, 0] = value
+                yield from client.push([3], update)
+                yield from client.barrier()
+                yield from client.clock()
+                return None
+            values = yield from client.pull([3])
+            first = values[0, 0]
+            yield from client.barrier()
+            yield from client.clock()
+            observed[worker_id] = first
+            return None
+
+        ps.run_workers(worker_fn)
+        # After the clock flush the owner has the update (eventual consistency).
+        assert ps.parameter(3)[0] == pytest.approx(value)

@@ -1,0 +1,74 @@
+"""Tests for history recording and the update bit-encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import History, Operation, UpdateTagger
+from repro.errors import ConsistencyViolation
+
+
+class TestUpdateTagger:
+    def test_unique_increasing_ids(self):
+        tagger = UpdateTagger()
+        ids = [tagger.next_update()[0] for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_values_are_powers_of_two(self):
+        tagger = UpdateTagger()
+        values = [tagger.next_update()[1] for _ in range(5)]
+        assert values == [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_decode_roundtrip(self):
+        assert UpdateTagger.decode(0.0) == frozenset()
+        assert UpdateTagger.decode(1.0) == frozenset({0})
+        assert UpdateTagger.decode(2.0 + 8.0) == frozenset({1, 3})
+
+    def test_decode_rejects_invalid(self):
+        with pytest.raises(ConsistencyViolation):
+            UpdateTagger.decode(1.5)
+        with pytest.raises(ConsistencyViolation):
+            UpdateTagger.decode(-2.0)
+
+    def test_nonzero_initial_rejected(self):
+        with pytest.raises(ConsistencyViolation):
+            UpdateTagger(initial_value=1.0)
+
+    def test_too_many_pushes_rejected(self):
+        tagger = UpdateTagger()
+        for _ in range(60):
+            tagger.next_update()
+        with pytest.raises(ConsistencyViolation):
+            tagger.next_update()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ids=st.sets(st.integers(min_value=0, max_value=50), max_size=20))
+    def test_property_decode_inverts_sum(self, ids):
+        value = float(sum(2**i for i in ids))
+        assert UpdateTagger.decode(value) == frozenset(ids)
+
+
+class TestHistory:
+    def test_record_and_group_by_worker(self):
+        history = History(key=0)
+        history.record_push(worker_id=0, sequence=0, invoked_at=0.0, completed_at=1.0, push_id=0)
+        history.record_pull(worker_id=1, sequence=0, invoked_at=1.0, completed_at=2.0, value=1.0)
+        history.record_pull(worker_id=0, sequence=1, invoked_at=2.0, completed_at=3.0, value=1.0)
+        assert len(history) == 3
+        assert len(history.pulls) == 2
+        assert len(history.pushes) == 1
+        assert history.push_ids == frozenset({0})
+        grouped = history.by_worker()
+        assert [op.kind for op in grouped[0]] == ["push", "pull"]
+
+    def test_wrong_key_rejected(self):
+        history = History(key=0)
+        op = Operation(worker_id=0, kind="pull", key=1, sequence=0, invoked_at=0, completed_at=1)
+        with pytest.raises(ConsistencyViolation):
+            history.record(op)
+
+    def test_operation_validation(self):
+        with pytest.raises(ConsistencyViolation):
+            Operation(worker_id=0, kind="reads", key=0, sequence=0, invoked_at=0, completed_at=1)
+        with pytest.raises(ConsistencyViolation):
+            Operation(worker_id=0, kind="push", key=0, sequence=0, invoked_at=0, completed_at=1)

@@ -1,0 +1,191 @@
+"""Tests for the synthetic dataset generators and partitioning utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    generate_corpus,
+    generate_knowledge_graph,
+    generate_matrix,
+    partition_by_key_function,
+    partition_contiguous,
+    partition_round_robin,
+)
+from repro.errors import DataGenerationError
+
+
+class TestSyntheticMatrix:
+    def test_basic_shape(self):
+        matrix = generate_matrix(num_rows=50, num_cols=40, num_entries=300, rank=4, seed=0)
+        assert matrix.num_rows == 50
+        assert matrix.num_cols == 40
+        assert 0 < matrix.num_entries <= 300
+        assert matrix.rows.max() < 50
+        assert matrix.cols.max() < 40
+        assert matrix.true_row_factors.shape == (50, 4)
+
+    def test_deterministic_per_seed(self):
+        a = generate_matrix(20, 20, 100, seed=1)
+        b = generate_matrix(20, 20, 100, seed=1)
+        c = generate_matrix(20, 20, 100, seed=2)
+        np.testing.assert_array_equal(a.rows, b.rows)
+        np.testing.assert_allclose(a.values, b.values)
+        assert not np.array_equal(a.rows, c.rows) or not np.allclose(a.values, c.values)
+
+    def test_values_close_to_low_rank_model(self):
+        matrix = generate_matrix(30, 30, 200, rank=4, noise=0.01, seed=0)
+        predicted = np.einsum(
+            "ij,ij->i",
+            matrix.true_row_factors[matrix.rows],
+            matrix.true_col_factors[matrix.cols],
+        )
+        assert np.abs(matrix.values - predicted).mean() < 0.05
+
+    def test_entries_for_rows_and_columns(self):
+        matrix = generate_matrix(20, 20, 150, seed=0)
+        rows, cols, values = matrix.entries_for_rows(0, 10)
+        assert (rows < 10).all()
+        rows, cols, values = matrix.entries_for_columns(5, 15)
+        assert ((cols >= 5) & (cols < 15)).all()
+
+    def test_no_duplicate_positions(self):
+        matrix = generate_matrix(10, 10, 80, seed=3)
+        positions = set(zip(matrix.rows.tolist(), matrix.cols.tolist()))
+        assert len(positions) == matrix.num_entries
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            generate_matrix(0, 10, 10)
+        with pytest.raises(DataGenerationError):
+            generate_matrix(10, 10, 0)
+        with pytest.raises(DataGenerationError):
+            generate_matrix(10, 10, 1000)
+        with pytest.raises(DataGenerationError):
+            generate_matrix(10, 10, 10, rank=0)
+
+
+class TestSyntheticKnowledgeGraph:
+    def test_basic_shape(self):
+        graph = generate_knowledge_graph(num_entities=100, num_relations=8, num_triples=500, seed=0)
+        assert graph.num_triples == 500
+        assert graph.subjects.max() < 100
+        assert graph.relations.max() < 8
+        assert graph.triples().shape == (500, 3)
+
+    def test_skewed_entity_usage(self):
+        graph = generate_knowledge_graph(
+            num_entities=200, num_relations=4, num_triples=5000, entity_skew=1.0, seed=0
+        )
+        frequencies = np.sort(graph.entity_frequencies())[::-1]
+        # The most frequent entity should appear far more often than the median.
+        assert frequencies[0] > 10 * max(1, np.median(frequencies))
+
+    def test_uniform_when_skew_zero(self):
+        graph = generate_knowledge_graph(
+            num_entities=50, num_relations=4, num_triples=5000, entity_skew=0.0, seed=0
+        )
+        frequencies = graph.entity_frequencies()
+        assert frequencies.max() < 5 * frequencies.mean()
+
+    def test_no_self_loops(self):
+        graph = generate_knowledge_graph(num_entities=10, num_relations=2, num_triples=1000, seed=1)
+        assert (graph.subjects != graph.objects).all()
+
+    def test_triples_of_relation(self):
+        graph = generate_knowledge_graph(num_entities=50, num_relations=5, num_triples=300, seed=0)
+        for relation in range(5):
+            triples = graph.triples_of_relation(relation)
+            assert (triples[:, 1] == relation).all()
+
+    def test_deterministic(self):
+        a = generate_knowledge_graph(seed=7)
+        b = generate_knowledge_graph(seed=7)
+        np.testing.assert_array_equal(a.triples(), b.triples())
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            generate_knowledge_graph(num_entities=1)
+        with pytest.raises(DataGenerationError):
+            generate_knowledge_graph(num_relations=0)
+        with pytest.raises(DataGenerationError):
+            generate_knowledge_graph(num_triples=0)
+        with pytest.raises(DataGenerationError):
+            generate_knowledge_graph(entity_skew=-1)
+
+
+class TestSyntheticCorpus:
+    def test_basic_shape(self):
+        corpus = generate_corpus(vocabulary_size=100, num_sentences=20, seed=0)
+        assert corpus.num_sentences == 20
+        assert corpus.num_tokens > 0
+        assert all(sentence.max() < 100 for sentence in corpus.sentences)
+        assert all(len(sentence) >= 2 for sentence in corpus.sentences)
+
+    def test_zipf_skew(self):
+        corpus = generate_corpus(vocabulary_size=500, num_sentences=400, skew=1.0, seed=0)
+        frequencies = np.sort(corpus.word_frequencies())[::-1]
+        assert frequencies[0] > 20 * max(1.0, np.median(frequencies))
+
+    def test_unigram_distribution_sums_to_one(self):
+        corpus = generate_corpus(vocabulary_size=50, num_sentences=30, seed=0)
+        distribution = corpus.unigram_distribution()
+        assert distribution.shape == (50,)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = generate_corpus(seed=3)
+        b = generate_corpus(seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a.sentences, b.sentences))
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            generate_corpus(vocabulary_size=1)
+        with pytest.raises(DataGenerationError):
+            generate_corpus(num_sentences=0)
+        with pytest.raises(DataGenerationError):
+            generate_corpus(mean_sentence_length=1)
+        with pytest.raises(DataGenerationError):
+            generate_corpus(skew=-0.5)
+
+
+class TestPartitioning:
+    def test_round_robin(self):
+        parts = partition_round_robin(list(range(10)), 3)
+        assert parts[0] == [0, 3, 6, 9]
+        assert parts[1] == [1, 4, 7]
+        assert sum(len(p) for p in parts) == 10
+
+    def test_contiguous(self):
+        parts = partition_contiguous(list(range(10)), 3)
+        assert parts[0] == [0, 1, 2, 3]
+        assert parts[2] == [7, 8, 9]
+
+    def test_by_key_function(self):
+        items = [(i, i % 4) for i in range(20)]
+        parts = partition_by_key_function(items, 2, key_fn=lambda item: item[1])
+        assert all(item[1] % 2 == 0 for item in parts[0])
+        assert all(item[1] % 2 == 1 for item in parts[1])
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            partition_round_robin([1], 0)
+        with pytest.raises(DataGenerationError):
+            partition_contiguous([1], 0)
+        with pytest.raises(DataGenerationError):
+            partition_by_key_function([1], 0, key_fn=lambda x: x)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_items=st.integers(min_value=0, max_value=100),
+        num_parts=st.integers(min_value=1, max_value=10),
+    )
+    def test_property_partitions_cover_all_items(self, num_items, num_parts):
+        items = list(range(num_items))
+        for strategy in (partition_round_robin, partition_contiguous):
+            parts = strategy(items, num_parts)
+            assert sorted(sum(parts, [])) == items
+            assert len(parts) == num_parts
+            sizes = [len(p) for p in parts]
+            assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,132 @@
+"""Tests for the experiment runner, scenarios, and reporting helpers."""
+
+import pytest
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.errors import ExperimentError
+from repro.experiments import (
+    KGEScale,
+    MFScale,
+    W2VScale,
+    format_table,
+    make_parameter_server,
+    run_kge_experiment,
+    run_mf_experiment,
+    run_w2v_experiment,
+    speedup,
+)
+from repro.experiments.scenarios import epoch_time, matrix_factorization_scenario
+from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, StalePS
+
+TINY_MF = MFScale(num_rows=24, num_cols=16, num_entries=120, rank=4, compute_time_per_entry=1e-6)
+TINY_KGE = KGEScale(num_entities=30, num_relations=4, num_triples=40, entity_dim=2,
+                    compute_time_per_triple=1e-6)
+TINY_W2V = W2VScale(vocabulary_size=40, num_sentences=10, mean_sentence_length=4,
+                    dim=4, compute_time_per_pair=1e-6, presample_size=10, presample_refresh=8)
+
+
+class TestMakeParameterServer:
+    def test_known_systems(self):
+        cluster = ClusterConfig(num_nodes=2, workers_per_node=1)
+        config = ParameterServerConfig(num_keys=8, value_length=2)
+        assert isinstance(make_parameter_server("classic", cluster, config), ClassicIPCPS)
+        assert isinstance(
+            make_parameter_server("classic_fast_local", cluster, config), ClassicSharedMemoryPS
+        )
+        assert isinstance(make_parameter_server("lapse", cluster, config), LapsePS)
+        ssp = make_parameter_server("stale_ssp", cluster, config)
+        ssppush = make_parameter_server("stale_ssppush", cluster, config)
+        assert isinstance(ssp, StalePS) and not ssp.server_push
+        assert isinstance(ssppush, StalePS) and ssppush.server_push
+
+    def test_unknown_system_rejected(self):
+        cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
+        config = ParameterServerConfig(num_keys=8, value_length=2)
+        with pytest.raises(ExperimentError):
+            make_parameter_server("mystery", cluster, config)
+
+
+class TestRunners:
+    @pytest.mark.parametrize("system", ["classic", "classic_fast_local", "lapse", "stale_ssp", "lowlevel"])
+    def test_mf_runs_on_every_system(self, system):
+        result = run_mf_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_MF)
+        assert result.task == "matrix_factorization"
+        assert result.system == system
+        assert result.epoch_duration > 0
+        assert result.parallelism == "2x1"
+
+    @pytest.mark.parametrize("system", ["classic_fast_local", "lapse", "lapse_clustering_only"])
+    def test_kge_runs(self, system):
+        result = run_kge_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_KGE)
+        assert result.task == "kge_complex"
+        assert result.epoch_duration > 0
+
+    def test_kge_rescal_model(self):
+        result = run_kge_experiment("lapse", num_nodes=1, workers_per_node=1, model="rescal", scale=TINY_KGE)
+        assert result.task == "kge_rescal"
+
+    def test_w2v_runs(self):
+        result = run_w2v_experiment("lapse", num_nodes=2, workers_per_node=1, scale=TINY_W2V)
+        assert result.task == "word2vec"
+        assert result.epoch_duration > 0
+
+    def test_loss_computation_optional(self):
+        with_loss = run_mf_experiment(
+            "lapse", num_nodes=1, workers_per_node=1, scale=TINY_MF, compute_loss=True
+        )
+        without_loss = run_mf_experiment(
+            "lapse", num_nodes=1, workers_per_node=1, scale=TINY_MF, compute_loss=False
+        )
+        assert with_loss.final_loss is not None
+        assert without_loss.final_loss is None
+
+    def test_lowlevel_has_no_ps_metrics(self):
+        result = run_mf_experiment("lowlevel", num_nodes=2, workers_per_node=1, scale=TINY_MF)
+        assert result.metrics is None
+
+    def test_deterministic_given_seed(self):
+        a = run_mf_experiment("lapse", num_nodes=2, workers_per_node=1, scale=TINY_MF, seed=5)
+        b = run_mf_experiment("lapse", num_nodes=2, workers_per_node=1, scale=TINY_MF, seed=5)
+        assert a.epoch_duration == pytest.approx(b.epoch_duration)
+        assert a.remote_messages == b.remote_messages
+
+
+class TestScenarios:
+    def test_scenario_rows_and_lookup(self):
+        rows = matrix_factorization_scenario(
+            systems=["lapse", "classic_fast_local"],
+            parallelism=(1, 2),
+            scale=TINY_MF,
+            epochs=1,
+        )
+        assert len(rows) == 4
+        assert {row["system"] for row in rows} == {"lapse", "classic_fast_local"}
+        value = epoch_time(rows, "lapse", "2x4")
+        assert value > 0
+        with pytest.raises(ExperimentError):
+            epoch_time(rows, "lapse", "16x4")
+
+    def test_empty_systems_rejected(self):
+        with pytest.raises(ExperimentError):
+            matrix_factorization_scenario(systems=[], scale=TINY_MF)
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [
+            {"system": "lapse", "time": 0.5},
+            {"system": "classic", "time": 12.25},
+        ]
+        text = format_table(rows, title="Example")
+        assert "Example" in text
+        assert "lapse" in text and "classic" in text
+        assert "12.25" in text
+
+    def test_format_table_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table([])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ExperimentError):
+            speedup(1.0, 0.0)

@@ -1,0 +1,191 @@
+"""Tests for the knowledge-graph-embedding trainers (RESCAL and ComplEx)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.data import generate_knowledge_graph
+from repro.errors import ExperimentError
+from repro.ml import KGEConfig, KGETrainer
+from repro.ml.kge import KGEKeySpace
+from repro.ps import ClassicSharedMemoryPS, LapsePS
+
+
+def build_kge(model="complex", num_nodes=2, workers_per_node=1, num_entities=30,
+              num_relations=4, num_triples=80, entity_dim=3, seed=0, **config_kwargs):
+    cluster = ClusterConfig(num_nodes=num_nodes, workers_per_node=workers_per_node, seed=seed)
+    graph = generate_knowledge_graph(
+        num_entities=num_entities,
+        num_relations=num_relations,
+        num_triples=num_triples,
+        seed=seed,
+    )
+    config = KGEConfig(
+        model=model,
+        entity_dim=entity_dim,
+        num_negatives=2,
+        compute_time_per_triple=5e-6,
+        **config_kwargs,
+    )
+    keyspace = KGEKeySpace(graph, config)
+    ps_config = ParameterServerConfig(
+        num_keys=keyspace.num_keys, value_length=config.value_length
+    )
+    return graph, config
+
+
+def build_trainer(ps_cls, model="complex", **kwargs):
+    graph, config = build_kge(model=model, **kwargs)
+    num_nodes = kwargs.get("num_nodes", 2)
+    workers_per_node = kwargs.get("workers_per_node", 1)
+    seed = kwargs.get("seed", 0)
+    cluster = ClusterConfig(num_nodes=num_nodes, workers_per_node=workers_per_node, seed=seed)
+    keyspace = KGEKeySpace(graph, config)
+    ps = ps_cls(
+        cluster,
+        ParameterServerConfig(num_keys=keyspace.num_keys, value_length=config.value_length),
+    )
+    return KGETrainer(ps, graph, config, seed=seed), ps, graph, config
+
+
+class TestKeySpace:
+    def test_complex_layout(self):
+        graph, config = build_kge(model="complex", entity_dim=3)
+        keyspace = KGEKeySpace(graph, config)
+        assert config.base_dim == 6
+        assert config.keys_per_relation == 1
+        assert keyspace.num_keys == graph.num_entities + graph.num_relations
+        assert keyspace.entity_key(5) == 5
+        assert keyspace.relation_keys(0) == [graph.num_entities]
+
+    def test_rescal_layout(self):
+        graph, config = build_kge(model="rescal", entity_dim=3)
+        keyspace = KGEKeySpace(graph, config)
+        assert config.base_dim == 3
+        assert config.keys_per_relation == 3
+        assert keyspace.num_keys == graph.num_entities + 3 * graph.num_relations
+        assert len(keyspace.relation_keys(1)) == 3
+
+    def test_out_of_range_rejected(self):
+        graph, config = build_kge()
+        keyspace = KGEKeySpace(graph, config)
+        with pytest.raises(ExperimentError):
+            keyspace.entity_key(10_000)
+        with pytest.raises(ExperimentError):
+            keyspace.relation_keys(10_000)
+
+    def test_config_validation(self):
+        with pytest.raises(ExperimentError):
+            KGEConfig(model="transe")
+        with pytest.raises(ExperimentError):
+            KGEConfig(entity_dim=0)
+        with pytest.raises(ExperimentError):
+            KGEConfig(num_negatives=0)
+        with pytest.raises(ExperimentError):
+            KGEConfig(learning_rate=0)
+
+
+class TestGradients:
+    def test_rescal_score_matches_bilinear_form(self):
+        trainer, _, _, config = build_trainer(LapsePS, model="rescal")
+        rng = np.random.default_rng(0)
+        d = config.entity_dim
+        subject, obj = rng.normal(size=d), rng.normal(size=d)
+        relation = rng.normal(size=(d, d))
+        score, grad_s, grad_r, grad_o = trainer._score_and_grads(subject, relation, obj)
+        assert score == pytest.approx(subject @ relation @ obj)
+        np.testing.assert_allclose(grad_s, relation @ obj)
+        np.testing.assert_allclose(grad_o, relation.T @ subject)
+        np.testing.assert_allclose(grad_r, np.outer(subject, obj))
+
+    def test_complex_gradients_match_numerical(self):
+        trainer, _, _, config = build_trainer(LapsePS, model="complex")
+        rng = np.random.default_rng(1)
+        dim = config.base_dim
+        subject, obj = rng.normal(size=dim), rng.normal(size=dim)
+        relation = rng.normal(size=(1, dim))
+
+        def score_fn(s, r, o):
+            return trainer._score_and_grads(s, r, o)[0]
+
+        score, grad_s, grad_r, grad_o = trainer._score_and_grads(subject, relation, obj)
+        epsilon = 1e-6
+        for i in range(dim):
+            bumped = subject.copy()
+            bumped[i] += epsilon
+            numerical = (score_fn(bumped, relation, obj) - score) / epsilon
+            assert numerical == pytest.approx(grad_s[i], rel=1e-3, abs=1e-5)
+        for i in range(dim):
+            bumped = obj.copy()
+            bumped[i] += epsilon
+            numerical = (score_fn(subject, relation, bumped) - score) / epsilon
+            assert numerical == pytest.approx(grad_o[i], rel=1e-3, abs=1e-5)
+
+
+def score_margin(trainer, graph, num_samples=100, seed=3):
+    """Mean score of true triples minus mean score of random object corruptions."""
+    rng = np.random.default_rng(seed)
+    values = trainer._gather_values()
+    positives, negatives = [], []
+    indices = rng.choice(graph.num_triples, size=min(num_samples, graph.num_triples), replace=False)
+    for index in indices:
+        subject = int(graph.subjects[index])
+        relation = int(graph.relations[index])
+        obj = int(graph.objects[index])
+        relation_rows = np.vstack(
+            [values[key] for key in trainer.keyspace.relation_keys(relation)]
+        )
+        positives.append(
+            trainer._score_and_grads(values[subject], relation_rows, values[obj])[0]
+        )
+        corrupted = int(rng.integers(0, graph.num_entities))
+        negatives.append(
+            trainer._score_and_grads(values[subject], relation_rows, values[corrupted])[0]
+        )
+    return float(np.mean(positives) - np.mean(negatives))
+
+
+class TestTraining:
+    def test_loss_decreases_complex(self):
+        trainer, ps, _, _ = build_trainer(LapsePS, model="complex", num_triples=60)
+        initial = trainer.evaluation_loss()
+        results = trainer.train(num_epochs=2)
+        assert results[-1].loss < initial
+
+    @pytest.mark.parametrize("model", ["complex", "rescal"])
+    def test_training_separates_true_from_corrupted_triples(self, model):
+        trainer, ps, graph, _ = build_trainer(LapsePS, model=model, num_triples=60)
+        margin_before = score_margin(trainer, graph)
+        trainer.train(num_epochs=2, compute_loss=False)
+        margin_after = score_margin(trainer, graph)
+        assert margin_after > margin_before + 0.01
+
+    def test_latency_hiding_makes_entity_accesses_mostly_local(self):
+        trainer, ps, _, _ = build_trainer(LapsePS, model="complex")
+        trainer.train(num_epochs=1, compute_loss=False)
+        metrics = ps.metrics()
+        assert metrics.local_read_fraction > 0.8
+        assert metrics.relocations > 0
+
+    def test_data_clustering_only_variant_runs(self):
+        trainer, ps, _, _ = build_trainer(
+            LapsePS, model="rescal", latency_hiding=False
+        )
+        results = trainer.train(num_epochs=1, compute_loss=False)
+        assert results[0].duration > 0
+        # Entity accesses are remote in this variant, relation accesses local.
+        assert ps.metrics().key_reads_remote > 0
+
+    def test_classic_ps_runs_and_is_slower(self):
+        lapse_trainer, _, _, _ = build_trainer(LapsePS, model="complex", seed=2)
+        classic_trainer, _, _, _ = build_trainer(ClassicSharedMemoryPS, model="complex", seed=2)
+        lapse_time = lapse_trainer.train(num_epochs=1, compute_loss=False)[0].duration
+        classic_time = classic_trainer.train(num_epochs=1, compute_loss=False)[0].duration
+        assert classic_time > lapse_time
+
+    def test_trainer_validation(self):
+        graph, config = build_kge()
+        cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
+        bad_ps = LapsePS(cluster, ParameterServerConfig(num_keys=5, value_length=config.value_length))
+        with pytest.raises(ExperimentError):
+            KGETrainer(bad_ps, graph, config)

@@ -1,0 +1,119 @@
+"""Tests for optimizer helpers and loss metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.ml.metrics import log_loss, rmse, sigmoid
+from repro.ml.optim import AdaGradPacking, adagrad_update, sgd_update
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert sigmoid(np.array([50.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-50.0]))[0] == pytest.approx(0.0)
+
+    def test_no_overflow_for_large_negative(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(values))
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=st.floats(min_value=-30, max_value=30))
+    def test_property_symmetry(self, x):
+        assert sigmoid(np.array([x]))[0] + sigmoid(np.array([-x]))[0] == pytest.approx(1.0)
+
+
+class TestLosses:
+    def test_log_loss_perfect_predictions(self):
+        scores = np.array([20.0, -20.0])
+        labels = np.array([1.0, 0.0])
+        assert log_loss(scores, labels) < 1e-6
+
+    def test_log_loss_chance_level(self):
+        scores = np.zeros(4)
+        labels = np.array([1.0, 0.0, 1.0, 0.0])
+        assert log_loss(scores, labels) == pytest.approx(np.log(2))
+
+    def test_log_loss_validation(self):
+        with pytest.raises(ExperimentError):
+            log_loss(np.zeros(2), np.zeros(3))
+        with pytest.raises(ExperimentError):
+            log_loss(np.zeros(0), np.zeros(0))
+
+    def test_rmse(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+        with pytest.raises(ExperimentError):
+            rmse(np.zeros(2), np.zeros(3))
+
+
+class TestAdaGrad:
+    def test_packing_roundtrip(self):
+        packing = AdaGradPacking(model_dim=3)
+        assert packing.value_length == 6
+        packed = packing.pack(np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0]))
+        parameter, accumulator = packing.unpack(packed)
+        np.testing.assert_allclose(parameter, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(accumulator, [4.0, 5.0, 6.0])
+
+    def test_packing_validation(self):
+        with pytest.raises(ExperimentError):
+            AdaGradPacking(model_dim=0)
+        packing = AdaGradPacking(model_dim=2)
+        with pytest.raises(ExperimentError):
+            packing.unpack(np.zeros(3))
+        with pytest.raises(ExperimentError):
+            packing.pack(np.zeros(2), np.zeros(3))
+
+    def test_adagrad_update_moves_against_gradient(self):
+        packing = AdaGradPacking(model_dim=2)
+        packed = packing.pack(np.array([1.0, 1.0]), np.zeros(2))
+        gradient = np.array([1.0, -2.0])
+        update = adagrad_update(packing, packed, gradient, learning_rate=0.1)
+        step, squared = packing.unpack(update)
+        assert step[0] < 0 and step[1] > 0
+        np.testing.assert_allclose(squared, gradient**2)
+
+    def test_adagrad_step_shrinks_with_history(self):
+        packing = AdaGradPacking(model_dim=1)
+        gradient = np.array([1.0])
+        fresh = adagrad_update(packing, packing.pack([0.0], [0.0]), gradient, 0.1)
+        seasoned = adagrad_update(packing, packing.pack([0.0], [100.0]), gradient, 0.1)
+        assert abs(seasoned[0]) < abs(fresh[0])
+
+    def test_adagrad_validation(self):
+        packing = AdaGradPacking(model_dim=2)
+        packed = packing.pack(np.zeros(2), np.zeros(2))
+        with pytest.raises(ExperimentError):
+            adagrad_update(packing, packed, np.zeros(3), 0.1)
+        with pytest.raises(ExperimentError):
+            adagrad_update(packing, packed, np.zeros(2), 0.0)
+
+    def test_cumulative_application_matches_sequential_adagrad(self):
+        """Applying the returned deltas cumulatively reproduces AdaGrad."""
+        packing = AdaGradPacking(model_dim=2)
+        stored = packing.pack(np.array([0.5, -0.5]), np.zeros(2))
+        reference_param = np.array([0.5, -0.5])
+        reference_acc = np.zeros(2)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            gradient = rng.normal(size=2)
+            update = adagrad_update(packing, stored, gradient, learning_rate=0.1)
+            stored = stored + update
+            reference_acc += gradient**2
+            reference_param -= 0.1 * gradient / np.sqrt(reference_acc + 1e-8)
+        parameter, accumulator = packing.unpack(stored)
+        np.testing.assert_allclose(parameter, reference_param, rtol=1e-6)
+        np.testing.assert_allclose(accumulator, reference_acc, rtol=1e-6)
+
+
+class TestSGD:
+    def test_sgd_update(self):
+        np.testing.assert_allclose(sgd_update(np.array([2.0, -4.0]), 0.5), [-1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            sgd_update(np.zeros(2), 0.0)

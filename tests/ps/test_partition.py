@@ -1,0 +1,136 @@
+"""Unit and property-based tests for key partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.ps.partition import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    make_partitioner,
+    random_key_mapping,
+)
+
+
+class TestRangePartitioner:
+    def test_balanced_ranges(self):
+        part = RangePartitioner(num_keys=10, num_nodes=3)
+        sizes = [len(part.keys_of(node)) for node in range(3)]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_contiguous_ranges(self):
+        part = RangePartitioner(num_keys=100, num_nodes=4)
+        for node in range(4):
+            keys = part.keys_of(node)
+            assert keys == list(range(keys[0], keys[-1] + 1))
+
+    def test_node_of_matches_keys_of(self):
+        part = RangePartitioner(num_keys=17, num_nodes=5)
+        for node in range(5):
+            for key in part.keys_of(node):
+                assert part.node_of(key) == node
+
+    def test_range_of(self):
+        part = RangePartitioner(num_keys=8, num_nodes=2)
+        assert part.range_of(0) == (0, 4)
+        assert part.range_of(1) == (4, 8)
+
+    def test_single_node_owns_everything(self):
+        part = RangePartitioner(num_keys=5, num_nodes=1)
+        assert all(part.node_of(k) == 0 for k in range(5))
+
+    def test_more_nodes_than_keys(self):
+        part = RangePartitioner(num_keys=2, num_nodes=4)
+        covered = {part.node_of(k) for k in range(2)}
+        assert len(covered) == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(PartitionError):
+            RangePartitioner(0, 1)
+        with pytest.raises(PartitionError):
+            RangePartitioner(1, 0)
+        part = RangePartitioner(4, 2)
+        with pytest.raises(PartitionError):
+            part.node_of(7)
+        with pytest.raises(PartitionError):
+            part.keys_of(9)
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        part = HashPartitioner(num_keys=100, num_nodes=4)
+        assert [part.node_of(k) for k in range(100)] == [part.node_of(k) for k in range(100)]
+
+    def test_reasonably_balanced(self):
+        part = HashPartitioner(num_keys=10_000, num_nodes=4)
+        counts = np.bincount([part.node_of(k) for k in range(10_000)], minlength=4)
+        assert counts.min() > 1500
+
+    def test_all_nodes_valid(self):
+        part = HashPartitioner(num_keys=50, num_nodes=3)
+        assert all(0 <= part.node_of(k) < 3 for k in range(50))
+
+
+class TestExplicitPartitioner:
+    def test_assignment_respected(self):
+        part = ExplicitPartitioner([0, 1, 1, 0, 2], num_nodes=3)
+        assert part.node_of(0) == 0
+        assert part.node_of(4) == 2
+        assert part.keys_of(1) == [1, 2]
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner([0, 3], num_nodes=2)
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner([], num_nodes=2)
+
+
+class TestRandomKeyMapping:
+    def test_is_permutation(self):
+        mapping = random_key_mapping(100, seed=1)
+        assert sorted(mapping.tolist()) == list(range(100))
+
+    def test_deterministic_per_seed(self):
+        assert random_key_mapping(50, seed=3).tolist() == random_key_mapping(50, seed=3).tolist()
+        assert random_key_mapping(50, seed=3).tolist() != random_key_mapping(50, seed=4).tolist()
+
+    def test_invalid_size(self):
+        with pytest.raises(PartitionError):
+            random_key_mapping(0)
+
+
+def test_make_partitioner():
+    assert isinstance(make_partitioner("range", 10, 2), RangePartitioner)
+    assert isinstance(make_partitioner("hash", 10, 2), HashPartitioner)
+    with pytest.raises(PartitionError):
+        make_partitioner("zigzag", 10, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_keys=st.integers(min_value=1, max_value=200),
+    num_nodes=st.integers(min_value=1, max_value=16),
+    kind=st.sampled_from(["range", "hash"]),
+)
+def test_property_every_key_has_exactly_one_node(num_keys, num_nodes, kind):
+    part = make_partitioner(kind, num_keys, num_nodes)
+    for key in range(num_keys):
+        node = part.node_of(key)
+        assert 0 <= node < num_nodes
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_keys=st.integers(min_value=1, max_value=100),
+    num_nodes=st.integers(min_value=1, max_value=8),
+)
+def test_property_keys_of_partitions_key_space(num_keys, num_nodes):
+    part = RangePartitioner(num_keys, num_nodes)
+    all_keys = []
+    for node in range(num_nodes):
+        all_keys.extend(part.keys_of(node))
+    assert sorted(all_keys) == list(range(num_keys))

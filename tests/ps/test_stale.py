@@ -1,0 +1,223 @@
+"""Integration tests for the stale (Petuum-style) parameter server."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.ps import StalePS
+
+
+def build_stale(
+    num_nodes=2,
+    workers_per_node=1,
+    num_keys=8,
+    value_length=2,
+    staleness=1,
+    server_push=False,
+    seed=1,
+):
+    cluster = ClusterConfig(num_nodes=num_nodes, workers_per_node=workers_per_node, seed=seed)
+    ps_config = ParameterServerConfig(
+        num_keys=num_keys,
+        value_length=value_length,
+        staleness_bound=staleness,
+        stale_server_push=server_push,
+    )
+    initial = np.arange(num_keys * value_length, dtype=float).reshape(num_keys, value_length)
+    return StalePS(cluster, ps_config, initial_values=initial), initial
+
+
+class TestStaleBasics:
+    def test_local_pull_and_push(self):
+        ps, initial = build_stale()
+
+        def worker(client, worker_id):
+            if worker_id == 0:
+                yield from client.push([0], np.ones((1, 2)))
+                values = yield from client.pull([0])
+                return values[0]
+            return None
+
+        results = ps.run_workers(worker)
+        np.testing.assert_allclose(results[0], initial[0] + 1.0)
+
+    def test_remote_pull_fetches_replica(self):
+        ps, initial = build_stale()
+
+        def worker(client, worker_id):
+            if worker_id == 0:
+                values = yield from client.pull([7])  # owned by node 1
+                return values[0]
+            return None
+
+        results = ps.run_workers(worker)
+        np.testing.assert_allclose(results[0], initial[7])
+        assert ps.metrics().key_reads_remote == 1
+
+    def test_second_read_within_staleness_uses_replica(self):
+        ps, initial = build_stale()
+
+        def worker(client, worker_id):
+            if worker_id == 0:
+                yield from client.pull([7])
+                remote_before = ps.network.stats.remote_messages
+                yield from client.pull([7])
+                remote_after = ps.network.stats.remote_messages
+                return remote_after - remote_before
+            return None
+
+        results = ps.run_workers(worker)
+        assert results[0] == 0
+        assert ps.metrics().replica_reads == 1
+
+    def test_remote_push_buffered_until_clock(self):
+        ps, initial = build_stale()
+
+        def worker(client, worker_id):
+            if worker_id == 0:
+                yield from client.push([7], np.ones((1, 2)))
+                owner_value_before_clock = ps.parameter(7).copy()
+                yield from client.clock()
+                return owner_value_before_clock
+            yield from client.clock()
+            return None
+
+        results = ps.run_workers(worker)
+        # Before the clock, the owner had not seen the update...
+        np.testing.assert_allclose(results[0], initial[7])
+        # ...after the clock flush it has.
+        np.testing.assert_allclose(ps.parameter(7), initial[7] + 1.0)
+
+    def test_own_writes_visible_in_replica(self):
+        ps, initial = build_stale()
+
+        def worker(client, worker_id):
+            if worker_id == 0:
+                yield from client.pull([7])
+                yield from client.push([7], np.ones((1, 2)))
+                values = yield from client.pull([7])
+                return values[0]
+            return None
+
+        results = ps.run_workers(worker)
+        np.testing.assert_allclose(results[0], initial[7] + 1.0)
+
+    def test_staleness_bound_forces_refetch(self):
+        ps, initial = build_stale(staleness=0)
+
+        def worker(client, worker_id):
+            if worker_id == 0:
+                yield from client.pull([7])
+                yield from client.clock()
+                remote_before = ps.metrics().key_reads_remote
+                yield from client.pull([7])
+                remote_after = ps.metrics().key_reads_remote
+                return remote_after - remote_before
+            yield from client.clock()
+            return None
+
+        results = ps.run_workers(worker)
+        assert results[0] == 1  # replica too stale, had to refetch
+
+    def test_stale_read_misses_unflushed_remote_update(self):
+        """Eventual consistency: another node's buffered update is invisible."""
+        ps, initial = build_stale(num_nodes=2, workers_per_node=1)
+
+        def worker(client, worker_id):
+            if worker_id == 1:
+                # Node 1 updates a parameter owned by node 0 but does not clock.
+                yield from client.push([0], np.ones((1, 2)))
+                yield from client.barrier()
+                return None
+            yield from client.barrier()
+            values = yield from client.pull([0])
+            return values[0]
+
+        results = ps.run_workers(worker)
+        np.testing.assert_allclose(results[0], initial[0])
+
+
+class TestServerPush:
+    def test_sspPush_refreshes_replicas_after_clock(self):
+        ps, initial = build_stale(num_nodes=2, server_push=True)
+
+        def worker(client, worker_id):
+            if worker_id == 0:
+                # Subscribe to key 7 by fetching it once.
+                yield from client.pull([7])
+                yield from client.barrier()
+                yield from client.clock()
+                yield from client.barrier()
+                # After the clock, the owner pushed a fresh replica: reading it
+                # requires no network traffic and sees node 1's update.
+                remote_before = ps.network.stats.remote_messages
+                values = yield from client.pull([7])
+                remote_after = ps.network.stats.remote_messages
+                return values[0], remote_after - remote_before
+            # Worker 1 owns key 7 and updates it directly.
+            yield from client.barrier()
+            yield from client.push([7], np.ones((1, 2)))
+            yield from client.clock()
+            yield from client.barrier()
+            return None
+
+        results = ps.run_workers(worker)
+        values, extra_messages = results[0]
+        np.testing.assert_allclose(values, initial[7] + 1.0)
+        assert extra_messages == 0
+        assert ps.metrics().replica_refreshes >= 1
+
+    def test_ssp_client_sync_does_not_push(self):
+        ps, _ = build_stale(num_nodes=2, server_push=False)
+
+        def worker(client, worker_id):
+            yield from client.pull([7 if worker_id == 0 else 0])
+            yield from client.clock()
+            return None
+
+        ps.run_workers(worker)
+        assert ps.metrics().replica_refreshes == 0
+
+    def test_server_push_causes_more_traffic_than_client_sync(self):
+        """SSPPush eagerly replicates everything previously accessed (§4.5)."""
+
+        def run(server_push):
+            ps, _ = build_stale(num_nodes=2, workers_per_node=2, server_push=server_push)
+
+            def worker(client, worker_id):
+                keys = [k for k in range(8) if ps.partitioner.node_of(k) != client.node_id]
+                yield from client.pull(keys)
+                for _ in range(3):
+                    yield from client.clock()
+                    yield from client.barrier()
+                return None
+
+            ps.run_workers(worker)
+            return ps.network.stats.bytes_sent
+
+        assert run(True) > run(False)
+
+
+class TestStaleClockSemantics:
+    def test_clock_advances_counted(self):
+        ps, _ = build_stale(num_nodes=2, workers_per_node=2)
+
+        def worker(client, worker_id):
+            yield from client.clock()
+            yield from client.clock()
+            return None
+
+        ps.run_workers(worker)
+        assert ps.metrics().clock_advances == 8
+
+    def test_updates_from_all_workers_arrive_after_clock(self):
+        ps, initial = build_stale(num_nodes=2, workers_per_node=2)
+
+        def worker(client, worker_id):
+            yield from client.push([0], np.ones((1, 2)))
+            yield from client.clock()
+            yield from client.barrier()
+            return None
+
+        ps.run_workers(worker)
+        np.testing.assert_allclose(ps.parameter(0), initial[0] + 4.0)

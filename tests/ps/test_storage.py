@@ -1,0 +1,171 @@
+"""Unit and property-based tests for local parameter stores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.ps.storage import DenseStorage, LatchTable, SparseStorage, make_storage
+
+
+@pytest.fixture(params=["dense", "sparse"])
+def storage(request):
+    return make_storage(dense=request.param == "dense", num_keys=16, value_length=4)
+
+
+class TestStorageBasics:
+    def test_insert_get_roundtrip(self, storage):
+        value = np.array([1.0, 2.0, 3.0, 4.0])
+        storage.insert(3, value)
+        assert storage.contains(3)
+        np.testing.assert_allclose(storage.get(3), value)
+
+    def test_get_returns_copy(self, storage):
+        storage.insert(0, np.ones(4))
+        copy = storage.get(0)
+        copy[0] = 99.0
+        np.testing.assert_allclose(storage.get(0), np.ones(4))
+
+    def test_add_is_cumulative(self, storage):
+        storage.insert(1, np.zeros(4))
+        storage.add(1, np.array([1.0, 0.0, -1.0, 2.0]))
+        storage.add(1, np.array([1.0, 1.0, 1.0, 1.0]))
+        np.testing.assert_allclose(storage.get(1), [2.0, 1.0, 0.0, 3.0])
+
+    def test_set_overwrites(self, storage):
+        storage.insert(2, np.ones(4))
+        storage.set(2, np.full(4, 7.0))
+        np.testing.assert_allclose(storage.get(2), np.full(4, 7.0))
+
+    def test_remove_returns_value_and_clears(self, storage):
+        storage.insert(5, np.full(4, 2.5))
+        removed = storage.remove(5)
+        np.testing.assert_allclose(removed, np.full(4, 2.5))
+        assert not storage.contains(5)
+        with pytest.raises(StorageError):
+            storage.get(5)
+
+    def test_reinsert_after_remove(self, storage):
+        storage.insert(5, np.ones(4))
+        storage.remove(5)
+        storage.insert(5, np.full(4, 3.0))
+        np.testing.assert_allclose(storage.get(5), np.full(4, 3.0))
+
+    def test_double_insert_rejected(self, storage):
+        storage.insert(4, np.zeros(4))
+        with pytest.raises(StorageError):
+            storage.insert(4, np.zeros(4))
+
+    def test_missing_key_operations_rejected(self, storage):
+        with pytest.raises(StorageError):
+            storage.get(0)
+        with pytest.raises(StorageError):
+            storage.add(0, np.zeros(4))
+        with pytest.raises(StorageError):
+            storage.set(0, np.zeros(4))
+        with pytest.raises(StorageError):
+            storage.remove(0)
+
+    def test_out_of_range_key_rejected(self, storage):
+        with pytest.raises(StorageError):
+            storage.insert(99, np.zeros(4))
+        with pytest.raises(StorageError):
+            storage.contains(-1)
+
+    def test_wrong_shape_rejected(self, storage):
+        with pytest.raises(StorageError):
+            storage.insert(0, np.zeros(3))
+        storage.insert(0, np.zeros(4))
+        with pytest.raises(StorageError):
+            storage.add(0, np.zeros(5))
+
+    def test_keys_and_len(self, storage):
+        for key in (1, 3, 5):
+            storage.insert(key, np.zeros(4))
+        assert sorted(storage.keys()) == [1, 3, 5]
+        assert len(storage) == 3
+        assert 3 in storage
+        assert 2 not in storage
+
+    def test_initial_keys(self):
+        for dense in (True, False):
+            store = make_storage(dense, num_keys=8, value_length=2, initial_keys=[0, 7])
+            assert store.contains(0) and store.contains(7)
+            np.testing.assert_allclose(store.get(0), np.zeros(2))
+
+    def test_invalid_construction(self):
+        with pytest.raises(StorageError):
+            DenseStorage(0, 4)
+        with pytest.raises(StorageError):
+            SparseStorage(4, 0)
+
+
+class TestLatchTable:
+    def test_key_always_maps_to_same_latch(self):
+        table = LatchTable(num_latches=10)
+        assert table.latch_for(3) == table.latch_for(3)
+        assert 0 <= table.latch_for(123456) < 10
+
+    def test_acquisition_counter(self):
+        table = LatchTable(num_latches=4)
+        table.acquire(1)
+        table.acquire(5)
+        assert table.acquisitions == 2
+        # Keys 1 and 5 share a latch in a 4-latch table (1 % 4 == 5 % 4).
+        assert table.latch_for(1) == table.latch_for(5)
+
+    def test_invalid_latch_count(self):
+        with pytest.raises(StorageError):
+            LatchTable(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.lists(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            ),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_dense_and_sparse_agree(ops):
+    """Dense and sparse stores behave identically under the same operation stream."""
+    dense = DenseStorage(16, 4)
+    sparse = SparseStorage(16, 4)
+    model = {}
+    for key, update in ops:
+        update = np.asarray(update)
+        if key in model:
+            dense.add(key, update)
+            sparse.add(key, update)
+            model[key] = model[key] + update
+        else:
+            dense.insert(key, update)
+            sparse.insert(key, update)
+            model[key] = update.copy()
+    assert sorted(dense.keys()) == sorted(sparse.keys()) == sorted(model.keys())
+    for key, expected in model.items():
+        np.testing.assert_allclose(dense.get(key), expected, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(sparse.get(key), expected, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=30, unique=True)
+)
+def test_property_remove_inverts_insert(keys):
+    """After inserting and removing the same keys, the store is empty again."""
+    store = SparseStorage(64, 2)
+    for key in keys:
+        store.insert(key, np.array([key, -key], dtype=float))
+    for key in keys:
+        value = store.remove(key)
+        np.testing.assert_allclose(value, [key, -key])
+    assert len(store) == 0

@@ -1,0 +1,301 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import ProcessError, SimulationError
+from repro.simnet import AllOf, AnyOf, Event, Simulator, Timeout
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield 1.5
+        return "done"
+
+    result = sim.run_process(proc())
+    assert result == "done"
+    assert sim.now == pytest.approx(1.5)
+
+
+def test_nested_timeouts_accumulate():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        yield 2.0
+        yield 0.5
+        return sim.now
+
+    result = sim.run_process(proc())
+    assert result == pytest.approx(3.5)
+
+
+def test_zero_delay_timeout_is_allowed():
+    sim = Simulator()
+
+    def proc():
+        yield 0.0
+        return sim.now
+
+    assert sim.run_process(proc()) == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Timeout(sim, -1.0)
+
+
+def test_event_succeed_value_passed_to_waiter():
+    sim = Simulator()
+    event = sim.event()
+
+    def trigger():
+        yield 2.0
+        event.succeed("payload")
+
+    def waiter():
+        value = yield event
+        return value
+
+    sim.process(trigger())
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == "payload"
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_event_fail_propagates_to_waiter():
+    sim = Simulator()
+    event = sim.event()
+
+    def trigger():
+        yield 1.0
+        event.fail(ValueError("boom"))
+
+    def waiter():
+        try:
+            yield event
+        except ValueError as exc:
+            return f"caught {exc}"
+        return "not caught"
+
+    sim.process(trigger())
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == "caught boom"
+
+
+def test_process_exception_without_waiter_raises():
+    sim = Simulator()
+
+    def broken():
+        yield 1.0
+        raise RuntimeError("broken process")
+
+    sim.process(broken())
+    with pytest.raises(RuntimeError, match="broken process"):
+        sim.run()
+
+
+def test_process_waits_for_other_process():
+    sim = Simulator()
+
+    def child():
+        yield 3.0
+        return 42
+
+    def parent():
+        result = yield sim.process(child())
+        return result + 1
+
+    assert sim.run_process(parent()) == 43
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_same_time_events_processed_in_trigger_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield 1.0
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+
+    def proc():
+        yield 10.0
+        return "late"
+
+    handle = sim.process(proc())
+    sim.run(until=4.0)
+    assert sim.now == pytest.approx(4.0)
+    assert handle.is_alive
+    sim.run()
+    assert handle.value == "late"
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.run_process(iter_timeout(sim, 5.0))
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def iter_timeout(sim, delay):
+    yield delay
+
+
+def test_yielding_unsupported_object_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not an event"
+
+    sim.process(proc())
+    with pytest.raises(ProcessError):
+        sim.run()
+
+
+def test_yielding_bool_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield True
+
+    sim.process(proc())
+    with pytest.raises(ProcessError):
+        sim.run()
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+
+    def child(delay, value):
+        yield delay
+        return value
+
+    def parent():
+        procs = [sim.process(child(d, v)) for d, v in [(3.0, "a"), (1.0, "b"), (2.0, "c")]]
+        values = yield AllOf(sim, procs)
+        return values
+
+    assert sim.run_process(parent()) == ["a", "b", "c"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_allof_empty_completes_immediately():
+    sim = Simulator()
+
+    def parent():
+        values = yield AllOf(sim, [])
+        return values
+
+    assert sim.run_process(parent()) == []
+
+
+def test_anyof_returns_first_value():
+    sim = Simulator()
+
+    def child(delay, value):
+        yield delay
+        return value
+
+    def parent():
+        procs = [sim.process(child(d, v)) for d, v in [(3.0, "slow"), (1.0, "fast")]]
+        value = yield AnyOf(sim, procs)
+        return value
+
+    assert sim.run_process(parent()) == "fast"
+
+
+def test_condition_rejects_mixed_simulators():
+    sim_a = Simulator()
+    sim_b = Simulator()
+    event_a = Event(sim_a)
+    event_b = Event(sim_b)
+    with pytest.raises(SimulationError):
+        AllOf(sim_a, [event_a, event_b])
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("early")
+
+    def late_waiter():
+        yield 5.0
+        value = yield event
+        return value
+
+    assert sim.run_process(late_waiter()) == "early"
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_run_process_detects_deadlock():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event()  # never triggered
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(stuck())
+
+
+def test_determinism_across_runs():
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def proc(tag, delay):
+            yield delay
+            trace.append((tag, sim.now))
+            yield delay
+            trace.append((tag, sim.now))
+
+        for tag in range(4):
+            sim.process(proc(tag, 0.5 + 0.1 * tag))
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,174 @@
+"""Unit tests for the simulated network and node abstractions."""
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel, message_size
+from repro.errors import NetworkError
+from repro.simnet import Network, Simulator
+from repro.simnet.node import Node, server_address, worker_address
+
+
+def build_cluster(num_nodes=2, workers_per_node=2, cost_model=None, seed=0):
+    sim = Simulator()
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        cost_model=cost_model or CostModel(),
+        seed=seed,
+    )
+    network = Network(sim, config.cost_model)
+    nodes = [Node(sim, network, i, config) for i in range(num_nodes)]
+    return sim, network, nodes
+
+
+def test_register_and_lookup_addresses():
+    sim, network, nodes = build_cluster()
+    assert network.node_of(server_address(0)) == 0
+    assert network.node_of(worker_address(1, 1)) == 1
+    with pytest.raises(NetworkError):
+        network.node_of(("server", 99))
+
+
+def test_duplicate_address_rejected():
+    sim, network, nodes = build_cluster()
+    with pytest.raises(NetworkError):
+        network.register(server_address(0), 0)
+
+
+def test_remote_message_charged_latency_and_bandwidth():
+    cost = CostModel(network_latency=1e-3, network_bandwidth=1e6)
+    sim, network, nodes = build_cluster(cost_model=cost)
+    size = 1000  # bytes -> 1ms transfer at 1 MB/s
+
+    def receiver():
+        payload = yield nodes[1].server_inbox.get()
+        return (payload, sim.now)
+
+    def sender():
+        yield 0.0
+        nodes[0].send_to_server(1, "ping", size)
+
+    recv = sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    payload, arrival = recv.value
+    assert payload == "ping"
+    assert arrival == pytest.approx(1e-3 + size / 1e6)
+
+
+def test_local_message_uses_ipc_latency():
+    cost = CostModel(ipc_access_latency=5e-6)
+    sim, network, nodes = build_cluster(cost_model=cost)
+
+    def receiver():
+        yield nodes[0].server_inbox.get()
+        return sim.now
+
+    def sender():
+        yield 0.0
+        nodes[0].send_to_server(0, "local", 10_000)
+
+    recv = sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert recv.value == pytest.approx(5e-6)
+
+
+def test_fifo_order_on_channel_with_different_sizes():
+    # A huge message sent first must not be overtaken by a tiny one sent later.
+    cost = CostModel(network_latency=1e-4, network_bandwidth=1e6)
+    sim, network, nodes = build_cluster(cost_model=cost)
+    received = []
+
+    def receiver():
+        for _ in range(2):
+            payload = yield nodes[1].server_inbox.get()
+            received.append((payload, sim.now))
+
+    def sender():
+        nodes[0].send_to_server(1, "big", 1_000_000)  # 1 second of transfer
+        yield 1e-6
+        nodes[0].send_to_server(1, "small", 1)
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert [p for p, _ in received] == ["big", "small"]
+    assert received[0][1] <= received[1][1]
+
+
+def test_network_stats_accounting():
+    sim, network, nodes = build_cluster()
+    size = message_size(num_keys=2, num_values=16)
+
+    def sender():
+        nodes[0].send_to_server(1, "a", size)
+        nodes[0].send_to_server(0, "b", size)
+        yield 0.0
+
+    def receiver_remote():
+        yield nodes[1].server_inbox.get()
+
+    def receiver_local():
+        yield nodes[0].server_inbox.get()
+
+    sim.process(receiver_remote())
+    sim.process(receiver_local())
+    sim.process(sender())
+    sim.run()
+    assert network.stats.messages_sent == 2
+    assert network.stats.remote_messages == 1
+    assert network.stats.local_messages == 1
+    assert network.stats.bytes_sent == size
+    assert network.stats.per_channel_messages == {(0, 1): 1}
+
+
+def test_negative_message_size_rejected():
+    sim, network, nodes = build_cluster()
+    with pytest.raises(NetworkError):
+        network.send(0, server_address(1), "x", -5)
+
+
+def test_worker_addressing_and_send_to_worker():
+    sim, network, nodes = build_cluster(num_nodes=2, workers_per_node=3)
+
+    def receiver():
+        payload = yield nodes[1].worker_inboxes[2].get()
+        return payload
+
+    def sender():
+        yield 0.0
+        nodes[0].send_to_worker(1, 2, "for worker 2", 100)
+
+    recv = sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert recv.value == "for worker 2"
+
+
+def test_node_rng_deterministic_per_seed():
+    _, _, nodes_a = build_cluster(seed=7)
+    _, _, nodes_b = build_cluster(seed=7)
+    _, _, nodes_c = build_cluster(seed=8)
+    a = nodes_a[0].rng.integers(0, 1_000_000, size=5)
+    b = nodes_b[0].rng.integers(0, 1_000_000, size=5)
+    c = nodes_c[0].rng.integers(0, 1_000_000, size=5)
+    assert list(a) == list(b)
+    assert list(a) != list(c)
+
+
+def test_worker_rngs_independent():
+    _, _, nodes = build_cluster()
+    r0 = nodes[0].worker_rng(0).integers(0, 1_000_000, size=5)
+    r1 = nodes[0].worker_rng(1).integers(0, 1_000_000, size=5)
+    assert list(r0) != list(r1)
+    with pytest.raises(NetworkError):
+        nodes[0].worker_rng(99)
+
+
+def test_invalid_node_id_rejected():
+    sim = Simulator()
+    config = ClusterConfig(num_nodes=2, workers_per_node=1)
+    network = Network(sim, config.cost_model)
+    with pytest.raises(NetworkError):
+        Node(sim, network, 5, config)
