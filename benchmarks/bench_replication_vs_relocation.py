@@ -1,0 +1,135 @@
+"""Replication vs. relocation vs. static allocation, head-to-head.
+
+Paper: Lapse manages parameter locality by *relocating* each hot parameter to
+the single node that accesses it; the related-work discussion (and the NuPS
+follow-up) contrasts this with *replication*, which copies hot parameters to
+every accessing node and synchronizes the copies asynchronously.  The paper's
+systems cover static allocation and relocation; the repo adds a
+replication-based PS so the third strategy can be measured on equal footing.
+
+Here: the three strategies run the paper's three workloads (matrix
+factorization, knowledge-graph embeddings, word vectors) at a fixed
+parallelism, with shared-memory local access everywhere so the comparison
+isolates the parameter-management strategy.  Expected shape:
+
+* both dynamic strategies beat the static classic PS on epoch time, because
+  they make most reads local;
+* replication achieves a local-read fraction comparable to relocation's;
+* the two strategies pay for locality differently: relocation moves each key
+  (relocation messages, zero steady-state overhead), replication keeps paying
+  synchronization traffic (flush/broadcast messages) for as long as the keys
+  are written.
+"""
+
+import pytest
+from benchmark_utils import WORKERS_PER_NODE, run_once
+
+from repro.experiments import (
+    KGEScale,
+    MFScale,
+    W2VScale,
+    format_table,
+    run_kge_experiment,
+    run_mf_experiment,
+    run_w2v_experiment,
+)
+
+#: All systems run at the paper's mid-scale parallelism level.
+NUM_NODES = 4
+
+#: Static allocation vs. relocation vs. replication, all with shared-memory
+#: local access.
+SYSTEMS = ("classic_fast_local", "lapse", "replica")
+
+MF = MFScale()
+KGE = KGEScale()
+W2V = W2VScale()
+
+
+def _run_task(task):
+    results = []
+    for system in SYSTEMS:
+        if task == "mf":
+            result = run_mf_experiment(
+                system, num_nodes=NUM_NODES, workers_per_node=WORKERS_PER_NODE, scale=MF
+            )
+        elif task == "kge":
+            result = run_kge_experiment(
+                system, num_nodes=NUM_NODES, workers_per_node=WORKERS_PER_NODE, scale=KGE
+            )
+        else:
+            result = run_w2v_experiment(
+                system, num_nodes=NUM_NODES, workers_per_node=WORKERS_PER_NODE, scale=W2V
+            )
+        results.append(result)
+    return results
+
+
+def _rows(results):
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        rows.append(
+            {
+                "task": result.task,
+                "system": result.system,
+                "epoch_time_s": round(result.epoch_duration, 6),
+                "local_read_frac": round(metrics.local_read_fraction, 3),
+                "remote_messages": result.remote_messages,
+                "bytes_sent": result.bytes_sent,
+                "relocations": metrics.relocations,
+                "replicas": metrics.replica_creates,
+                "sync_msgs": metrics.replica_flush_messages
+                + metrics.replica_broadcast_messages,
+                "sync_bytes": metrics.replica_sync_bytes,
+            }
+        )
+    return rows
+
+
+def _by_system(results):
+    return {result.system: result for result in results}
+
+
+@pytest.mark.parametrize("task", ["mf", "kge", "w2v"])
+def test_replication_vs_relocation(benchmark, task):
+    results = run_once(benchmark, lambda: _run_task(task))
+    rows = _rows(results)
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Replication vs. relocation ({task}, {NUM_NODES}x{WORKERS_PER_NODE})",
+        )
+    )
+
+    by_system = _by_system(results)
+    classic = by_system["classic_fast_local"]
+    lapse = by_system["lapse"]
+    replica = by_system["replica"]
+
+    # Replication actually happened, and its maintenance traffic is visible.
+    assert replica.metrics.replica_creates > 0
+    assert replica.metrics.replica_flush_messages > 0
+    assert replica.metrics.replica_sync_bytes > 0
+    # Relocation does not pay synchronization traffic; replication does not
+    # relocate.  The two locality mechanisms are disjoint.
+    assert lapse.metrics.replica_sync_bytes == 0
+    assert replica.metrics.relocations == 0
+    assert lapse.metrics.relocations > 0
+
+    # Both dynamic strategies make most reads local; static allocation cannot.
+    assert replica.metrics.local_read_fraction > classic.metrics.local_read_fraction
+    assert replica.metrics.local_read_fraction > 0.5
+
+    # Both dynamic strategies beat static allocation on epoch time.
+    assert lapse.epoch_duration < classic.epoch_duration
+    assert replica.epoch_duration < classic.epoch_duration
+
+    speedup = classic.epoch_duration / replica.epoch_duration
+    print(
+        f"\nreplica: {speedup:.1f}x faster than the static classic PS; "
+        f"lapse: {classic.epoch_duration / lapse.epoch_duration:.1f}x; "
+        f"replication maintenance traffic: {replica.metrics.replica_sync_bytes} bytes "
+        f"vs. 0 for relocation"
+    )

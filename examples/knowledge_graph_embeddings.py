@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Knowledge-graph embeddings with data clustering and latency hiding.
 
+**Paper anchor:** Figure 1 (the paper's motivating KGE plot) and Figure 7
+(KGE epoch run times); the relocation statistics such runs produce are the
+subject of Table 5.
+
 Trains ComplEx embeddings of a synthetic knowledge graph on Lapse (the
 Figure 1 / Figure 7 workload): relation parameters are placed by data
 clustering (each node localizes the relations of its triples once), entity

@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Matrix factorization with parameter blocking (the Figure 6 workload).
 
+**Paper anchor:** Figure 6 (MF epoch run times over cluster sizes) and the
+parameter-blocking PAL technique of §3.6.2/§4.3; the low-level baseline it is
+measured against appears in Figure 9.
+
 Trains a DSGD low-rank factorization of a synthetic matrix on three parameter
 servers — classic (PS-Lite style), classic with fast local access, and Lapse —
 and prints epoch run times, training RMSE and access locality, illustrating

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: the Lapse API on a small simulated cluster.
 
+**Paper anchor:** Table 2 (the PS client API) and §3.1 — this is the "hello
+world" of dynamic parameter allocation, not tied to any one figure.
+
 Demonstrates the three PS primitives of the paper (Table 2) — ``pull``,
 ``push`` and the new ``localize`` — and shows the effect of dynamic parameter
 allocation on where parameters live and how much network traffic accesses

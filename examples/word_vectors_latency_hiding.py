@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Word vectors with latency hiding (the Figure 8 workload).
 
+**Paper anchor:** Figure 8 (word-vector run time and error over cluster
+sizes) and the latency-hiding scheme for negative samples of Appendix A.
+
 Trains skip-gram Word2Vec on a synthetic topic-structured corpus using Lapse:
 the words of the next sentence are prelocalized while the current sentence is
 processed, and negative samples are drawn from a pre-sampled, pre-localized

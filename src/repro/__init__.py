@@ -36,6 +36,7 @@ from repro.ps import (
     ClassicPS,
     ClassicSharedMemoryPS,
     LapsePS,
+    ReplicaPS,
     StalePS,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "CostModel",
     "LapsePS",
     "ParameterServerConfig",
+    "ReplicaPS",
     "StalePS",
     "WorkloadConfig",
     "__version__",

@@ -21,7 +21,7 @@ because they determine the shape of the scaling curves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ExperimentError
 
@@ -188,6 +188,19 @@ class ParameterServerConfig:
         staleness_bound: Staleness bound for the stale PS (ignored elsewhere).
         stale_server_push: Use server-based synchronization (SSPPush) in the
             stale PS instead of client-based synchronization (SSP).
+        replica_sync_trigger: When the replication-based PS propagates
+            accumulated updates: ``"time"`` (a per-node timer fires every
+            ``replica_sync_interval`` simulated seconds while there are
+            unsynchronized updates) or ``"clock"`` (a node synchronizes
+            whenever one of its workers advances its clock).
+        replica_sync_interval: Period of the time-triggered synchronization
+            loop in simulated seconds (replica PS only).
+        hot_key_policy: Hot-key replication policy kind (replica PS only):
+            ``"access_count"``, ``"explicit"``, or ``"none"``
+            (see :func:`repro.ps.partition.make_hot_key_policy`).
+        hot_key_threshold: Access count at which a key becomes hot under the
+            ``access_count`` policy.
+        hot_keys: Fixed hot set for the ``explicit`` policy.
     """
 
     num_keys: int = 1024
@@ -199,6 +212,11 @@ class ParameterServerConfig:
     num_latches: int = 1000
     staleness_bound: int = 1
     stale_server_push: bool = False
+    replica_sync_trigger: str = "time"
+    replica_sync_interval: float = 500e-6
+    hot_key_policy: str = "access_count"
+    hot_key_threshold: int = 1
+    hot_keys: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_keys < 1:
@@ -211,6 +229,32 @@ class ParameterServerConfig:
             raise ExperimentError(
                 f"staleness_bound must be >= 0, got {self.staleness_bound}"
             )
+        if self.replica_sync_trigger not in ("time", "clock"):
+            raise ExperimentError(
+                "replica_sync_trigger must be 'time' or 'clock', "
+                f"got {self.replica_sync_trigger!r}"
+            )
+        if self.replica_sync_interval <= 0:
+            raise ExperimentError(
+                f"replica_sync_interval must be > 0, got {self.replica_sync_interval}"
+            )
+        if self.hot_key_policy not in ("access_count", "explicit", "none"):
+            raise ExperimentError(
+                "hot_key_policy must be 'access_count', 'explicit', or 'none', "
+                f"got {self.hot_key_policy!r}"
+            )
+        if self.hot_key_threshold < 1:
+            raise ExperimentError(
+                f"hot_key_threshold must be >= 1, got {self.hot_key_threshold}"
+            )
+        if self.hot_key_policy == "explicit" and self.hot_keys is None:
+            raise ExperimentError("hot_key_policy 'explicit' requires hot_keys")
+        if self.hot_keys is not None:
+            for key in self.hot_keys:
+                if not 0 <= key < self.num_keys:
+                    raise ExperimentError(
+                        f"hot key {key} out of range [0, {self.num_keys})"
+                    )
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,9 @@ package provides the machinery to measure those guarantees empirically:
 
 from repro.consistency.checkers import (
     CheckResult,
+    check_causal,
     check_eventual,
+    check_eventual_after,
     check_monotonic_reads,
     check_monotonic_writes,
     check_read_your_writes,
@@ -31,7 +33,9 @@ __all__ = [
     "History",
     "Operation",
     "UpdateTagger",
+    "check_causal",
     "check_eventual",
+    "check_eventual_after",
     "check_monotonic_reads",
     "check_monotonic_writes",
     "check_read_your_writes",

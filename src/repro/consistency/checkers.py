@@ -70,6 +70,40 @@ def check_eventual(history: History) -> CheckResult:
     return _ok(name)
 
 
+def check_eventual_after(history: History, quiesce_time: float) -> CheckResult:
+    """Eventual consistency relative to an explicit quiescence point.
+
+    :func:`check_eventual` places the quiescence point at the completion of
+    the last push — appropriate for systems that apply writes at the owner
+    before acknowledging them.  A *replicated* PS acknowledges writes locally
+    and propagates them asynchronously, so a read issued right after the last
+    push may legitimately miss other nodes' writes while the system is still
+    converging; the guarantee it does give is that reads issued after the
+    propagation quiesced observe everything.  This checker makes that testable:
+    pulls invoked at or after ``quiesce_time`` (a time the caller knows the
+    synchronization loop to have drained by, e.g. after a final
+    synchronization round plus its network delay) must observe every push.
+
+    The §3.4 discussion predicts exactly this weakening for cached/replicated
+    reads: between synchronization rounds the strong per-key properties fail
+    (see :func:`check_sequential`), while eventual convergence survives.
+    """
+    name = "eventual (explicit quiescence)"
+    all_pushes = history.push_ids
+    if not all_pushes:
+        return _ok(name)
+    quiescent_pulls = [op for op in history.pulls if op.invoked_at >= quiesce_time]
+    for pull in quiescent_pulls:
+        if pull.observed != all_pushes:
+            missing = sorted(all_pushes - pull.observed)
+            return _fail(
+                name,
+                f"pull by worker {pull.worker_id} invoked at {pull.invoked_at:.6f} "
+                f"(after quiescence at {quiesce_time:.6f}) missed pushes {missing}",
+            )
+    return _ok(name)
+
+
 # ------------------------------------------------------------- session guarantees
 def check_monotonic_reads(history: History) -> CheckResult:
     """Successive reads of one worker never lose previously observed pushes."""

@@ -22,8 +22,10 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import (
     DEFAULT_PARALLELISM,
+    REPLICATION_COMPARISON_SYSTEMS,
     kge_scenario,
     matrix_factorization_scenario,
+    replication_comparison_scenario,
     word2vec_scenario,
 )
 
@@ -31,6 +33,7 @@ __all__ = [
     "DEFAULT_PARALLELISM",
     "KGEScale",
     "MFScale",
+    "REPLICATION_COMPARISON_SYSTEMS",
     "SYSTEMS",
     "TaskRunResult",
     "W2VScale",
@@ -38,6 +41,7 @@ __all__ = [
     "kge_scenario",
     "make_parameter_server",
     "matrix_factorization_scenario",
+    "replication_comparison_scenario",
     "run_kge_experiment",
     "run_mf_experiment",
     "run_w2v_experiment",

@@ -19,6 +19,12 @@ name                          meaning
                               SSPPush).
 ``lowlevel``                  The task-specific low-level DSGD implementation
                               (matrix factorization only, Figure 9).
+``replica``                   Replication-based PS (beyond the paper's systems):
+                              eager hot-key replication, local writes, and a
+                              time-triggered synchronization loop.
+``replica_clock``             The same replica PS with clock-triggered
+                              synchronization (updates propagate when workers
+                              advance their clocks).
 ============================  =====================================================
 
 ``run_*_experiment`` functions build the cluster at a given parallelism
@@ -46,7 +52,7 @@ from repro.ml import (
 )
 from repro.ml.kge import KGEKeySpace
 from repro.ml.results import EpochResult
-from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, StalePS
+from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, ReplicaPS, StalePS
 from repro.ps.base import ParameterServer
 from repro.ps.metrics import PSMetrics
 
@@ -59,6 +65,8 @@ SYSTEMS = (
     "stale_ssp",
     "stale_ssppush",
     "lowlevel",
+    "replica",
+    "replica_clock",
 )
 
 #: Worker threads per node used throughout the paper's evaluation.
@@ -81,6 +89,10 @@ def make_parameter_server(
         return StalePS(cluster, replace(ps_config, stale_server_push=False))
     if system == "stale_ssppush":
         return StalePS(cluster, replace(ps_config, stale_server_push=True))
+    if system == "replica":
+        return ReplicaPS(cluster, replace(ps_config, replica_sync_trigger="time"))
+    if system == "replica_clock":
+        return ReplicaPS(cluster, replace(ps_config, replica_sync_trigger="clock"))
     raise ExperimentError(f"unknown system {system!r}")
 
 

@@ -6,6 +6,7 @@ from typing import Generator
 
 from repro.ps.base import ParameterServer
 from repro.ps.lapse import LapsePS
+from repro.ps.replica import ReplicaPS
 from repro.ps.stale import StalePS
 
 
@@ -16,7 +17,9 @@ def supports_localize(ps: ParameterServer) -> bool:
 
 def needs_clock(ps: ParameterServer) -> bool:
     """Whether the PS requires explicit clock advances for synchronization."""
-    return isinstance(ps, StalePS)
+    if isinstance(ps, StalePS):
+        return True
+    return isinstance(ps, ReplicaPS) and ps.ps_config.replica_sync_trigger == "clock"
 
 
 def maybe_localize(client, keys) -> Generator:

@@ -10,6 +10,13 @@ and exposing the same client API (Table 2):
 * :class:`~repro.ps.lapse.LapsePS` — dynamic parameter allocation (the
   paper's contribution): ``localize``, relocation protocol, home-node location
   management, optional location caches.
+
+A fourth architecture goes beyond the paper's systems:
+
+* :class:`~repro.ps.replica.ReplicaPS` — *replication*-based parameter
+  management (the direction the paper's related work contrasts DPA with):
+  eager replication of hot keys, local conflict-free writes, and a
+  time- or clock-triggered synchronization loop.
 """
 
 from repro.ps.base import NodeState, ParameterServer, WorkerClient
@@ -18,38 +25,52 @@ from repro.ps.futures import OperationHandle
 from repro.ps.lapse import LapseNodeState, LapsePS, LapseWorkerClient
 from repro.ps.metrics import PSMetrics, RunningStat
 from repro.ps.partition import (
+    AccessCountHotKeyPolicy,
+    ExplicitHotKeyPolicy,
     ExplicitPartitioner,
     HashPartitioner,
+    HotKeyPolicy,
     KeyPartitioner,
+    NoReplicationPolicy,
     RangePartitioner,
+    make_hot_key_policy,
     make_partitioner,
     random_key_mapping,
 )
+from repro.ps.replica import ReplicaNodeState, ReplicaPS, ReplicaWorkerClient
 from repro.ps.stale import StalePS, StaleWorkerClient
 from repro.ps.storage import DenseStorage, LatchTable, SparseStorage, make_storage
 
 __all__ = [
+    "AccessCountHotKeyPolicy",
     "ClassicIPCPS",
     "ClassicPS",
     "ClassicSharedMemoryPS",
     "DenseStorage",
+    "ExplicitHotKeyPolicy",
     "ExplicitPartitioner",
+    "HotKeyPolicy",
     "HashPartitioner",
     "KeyPartitioner",
     "LapseNodeState",
     "LapsePS",
     "LapseWorkerClient",
     "LatchTable",
+    "NoReplicationPolicy",
     "NodeState",
     "OperationHandle",
     "ParameterServer",
     "PSMetrics",
     "RangePartitioner",
+    "ReplicaNodeState",
+    "ReplicaPS",
+    "ReplicaWorkerClient",
     "RunningStat",
     "SparseStorage",
     "StalePS",
     "StaleWorkerClient",
     "WorkerClient",
+    "make_hot_key_policy",
     "make_partitioner",
     "make_storage",
     "random_key_mapping",

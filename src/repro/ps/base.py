@@ -45,8 +45,10 @@ from repro.ps.messages import (
     BarrierArrive,
     BarrierRelease,
     LocalizeAck,
+    PullRequest,
     PullResponse,
     PushAck,
+    PushRequest,
 )
 from repro.ps.metrics import PSMetrics
 from repro.ps.partition import KeyPartitioner, make_partitioner
@@ -303,6 +305,47 @@ class WorkerClient:
         event = Event(self.sim)
         event.callbacks.append(lambda _evt: action())
         event.succeed(delay=delay)
+
+    def _send_remote(
+        self,
+        handle: OperationHandle,
+        destination: int,
+        keys: List[int],
+        pull: bool,
+        updates: Optional[np.ndarray] = None,
+        key_to_row: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Send a pull/push for ``keys`` to ``destination``'s server thread.
+
+        Chunks according to ``message_grouping`` (§3.7) and registers every
+        chunk's op id on ``handle`` so the van can route the responses back.
+        Pushes always request an acknowledgement.
+        """
+        chunks = [keys] if self.ps.ps_config.message_grouping else [[k] for k in keys]
+        for chunk in chunks:
+            op_id = self.ps.next_op_id()
+            self.ps.register_op(op_id, handle)
+            if pull:
+                request: Any = PullRequest(
+                    op_id=op_id,
+                    keys=tuple(chunk),
+                    requester_node=self.node_id,
+                    reply_to=van_address(self.node_id),
+                )
+                size = message_size(len(chunk), 0)
+            else:
+                assert updates is not None and key_to_row is not None
+                chunk_updates = np.vstack([updates[key_to_row[key]] for key in chunk])
+                request = PushRequest(
+                    op_id=op_id,
+                    keys=tuple(chunk),
+                    updates=chunk_updates,
+                    requester_node=self.node_id,
+                    reply_to=van_address(self.node_id),
+                    needs_ack=True,
+                )
+                size = message_size(len(chunk), chunk_updates.size)
+            self.ps.send_to_server(self.node_id, destination, request, size)
 
 
 class ParameterServer:

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.config import message_size
 from repro.errors import ParameterServerError
-from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.ps.base import NodeState, ParameterServer, WorkerClient
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import PullRequest, PullResponse, PushAck, PushRequest
 
@@ -42,11 +42,12 @@ class ClassicWorkerClient(WorkerClient):
             if self.ps.ps_config.shared_memory_local_access:
                 self._local_pull_shared_memory(handle, local_keys)
             else:
-                self._send_request_groups(handle, {self.node_id: local_keys}, pull=True)
+                # PS-Lite style: even local keys go through the server thread.
+                self._send_remote(handle, self.node_id, local_keys, pull=True)
         for owner, owner_keys in remote_groups.items():
             metrics.key_reads_remote += len(owner_keys)
+            self._send_remote(handle, owner, owner_keys, pull=True)
         if remote_groups:
-            self._send_request_groups(handle, remote_groups, pull=True)
             metrics.pulls_remote += 1
         else:
             metrics.pulls_local += 1
@@ -68,13 +69,17 @@ class ClassicWorkerClient(WorkerClient):
             if self.ps.ps_config.shared_memory_local_access:
                 self._local_push_shared_memory(handle, local_keys, updates, key_to_row)
             else:
-                self._send_push_groups(
-                    handle, {self.node_id: local_keys}, updates, key_to_row, needs_ack=True
+                self._send_remote(
+                    handle, self.node_id, local_keys, pull=False,
+                    updates=updates, key_to_row=key_to_row,
                 )
         for owner, owner_keys in remote_groups.items():
             metrics.key_writes_remote += len(owner_keys)
+            self._send_remote(
+                handle, owner, owner_keys, pull=False,
+                updates=updates, key_to_row=key_to_row,
+            )
         if remote_groups:
-            self._send_push_groups(handle, remote_groups, updates, key_to_row, needs_ack=True)
             metrics.pushes_remote += 1
         else:
             metrics.pushes_local += 1
@@ -125,54 +130,8 @@ class ClassicWorkerClient(WorkerClient):
                 remote_groups[owner].append(key)
         return local_keys, dict(remote_groups)
 
-    def _send_request_groups(
-        self, handle: OperationHandle, groups: Dict[int, List[int]], pull: bool
-    ) -> None:
-        for owner, owner_keys in groups.items():
-            for chunk in self._chunks(owner_keys):
-                op_id = self.ps.next_op_id()
-                self.ps.register_op(op_id, handle)
-                request = PullRequest(
-                    op_id=op_id,
-                    keys=tuple(chunk),
-                    requester_node=self.node_id,
-                    reply_to=van_address(self.node_id),
-                )
-                self.ps.send_to_server(
-                    self.node_id, owner, request, message_size(len(chunk), 0)
-                )
-
-    def _send_push_groups(
-        self,
-        handle: OperationHandle,
-        groups: Dict[int, List[int]],
-        updates: np.ndarray,
-        key_to_row: Dict[int, int],
-        needs_ack: bool,
-    ) -> None:
-        for owner, owner_keys in groups.items():
-            for chunk in self._chunks(owner_keys):
-                op_id = self.ps.next_op_id()
-                self.ps.register_op(op_id, handle)
-                chunk_updates = np.vstack([updates[key_to_row[key]] for key in chunk])
-                request = PushRequest(
-                    op_id=op_id,
-                    keys=tuple(chunk),
-                    updates=chunk_updates,
-                    requester_node=self.node_id,
-                    reply_to=van_address(self.node_id),
-                    needs_ack=needs_ack,
-                )
-                size = message_size(len(chunk), chunk_updates.size)
-                self.ps.send_to_server(self.node_id, owner, request, size)
-                if not needs_ack:
-                    handle.complete_keys(chunk)
-
-    def _chunks(self, keys: List[int]) -> List[List[int]]:
-        """Split keys into per-message chunks (one chunk when grouping is on)."""
-        if self.ps.ps_config.message_grouping:
-            return [keys]
-        return [[key] for key in keys]
+    # Request sending is inherited from WorkerClient._send_remote (chunked
+    # pull/push requests with op ids registered for the van).
 
 
 class ClassicPS(ParameterServer):

@@ -314,41 +314,8 @@ class LapseWorkerClient(WorkerClient):
             state.metrics.cache_misses += 1
         return home
 
-    def _send_remote(
-        self,
-        handle: OperationHandle,
-        destination: int,
-        keys: List[int],
-        pull: bool,
-        updates: Optional[np.ndarray] = None,
-        key_to_row: Optional[Dict[int, int]] = None,
-    ) -> None:
-        ps: "LapsePS" = self.ps  # type: ignore[assignment]
-        chunks = [keys] if self.ps.ps_config.message_grouping else [[k] for k in keys]
-        for chunk in chunks:
-            op_id = ps.next_op_id()
-            ps.register_op(op_id, handle)
-            if pull:
-                request: Any = PullRequest(
-                    op_id=op_id,
-                    keys=tuple(chunk),
-                    requester_node=self.node_id,
-                    reply_to=van_address(self.node_id),
-                )
-                size = message_size(len(chunk), 0)
-            else:
-                assert updates is not None and key_to_row is not None
-                chunk_updates = np.vstack([updates[key_to_row[key]] for key in chunk])
-                request = PushRequest(
-                    op_id=op_id,
-                    keys=tuple(chunk),
-                    updates=chunk_updates,
-                    requester_node=self.node_id,
-                    reply_to=van_address(self.node_id),
-                    needs_ack=True,
-                )
-                size = message_size(len(chunk), chunk_updates.size)
-            ps.send_to_server(self.node_id, destination, request, size)
+    # _send_remote is inherited from WorkerClient: chunked pull/push requests
+    # routed to a destination server, with op ids registered for the van.
 
 
 class LapsePS(ParameterServer):

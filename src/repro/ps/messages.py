@@ -10,6 +10,8 @@ envelopes.  They mirror the message types described in the paper:
   of Figure 5,
 * stale-PS messages: replica fetches, update flushes, clock advances, and
   server-side replica pushes (SSPPush),
+* replica-PS messages: subscription/snapshot installs, conflict-free update
+  flushes, and delta broadcasts used by the replication-based variant,
 * barrier coordination messages used between subepochs.
 """
 
@@ -162,6 +164,60 @@ class ReplicaPush:
     keys: Tuple[int, ...]
     values: np.ndarray
     clock: int
+    responder_node: int
+
+
+# ---------------------------------------------------------------------- replica PS
+@dataclass(frozen=True)
+class ReplicaRegisterRequest:
+    """Replica PS: subscribe ``requester_node`` to ``keys`` and fetch a snapshot.
+
+    The owner adds the requester to each key's subscriber set and answers with
+    a :class:`ReplicaInstall` carrying the current values.  Replica messages
+    carry no op id: installs are matched to the requester's per-key
+    ``installing`` entries, and flushes/broadcasts are one-way.
+    """
+
+    keys: Tuple[int, ...]
+    requester_node: int
+    reply_to: Hashable
+
+
+@dataclass(frozen=True)
+class ReplicaInstall:
+    """Replica PS: owner → new replica holder, value snapshot at subscribe time."""
+
+    keys: Tuple[int, ...]
+    values: np.ndarray
+    responder_node: int
+
+
+@dataclass(frozen=True)
+class ReplicaSyncFlush:
+    """Replica PS: accumulated local updates flushed from a replica holder to the owner.
+
+    Updates are cumulative (additive), so aggregation is conflict-free: the
+    owner simply adds them to its authoritative copy and forwards them to the
+    *other* subscribers (the source already applied them locally).
+    """
+
+    keys: Tuple[int, ...]
+    updates: np.ndarray
+    source_node: int
+
+
+@dataclass(frozen=True)
+class ReplicaDeltaBroadcast:
+    """Replica PS: owner → subscriber, aggregate of other nodes' updates.
+
+    Carries, per key, the sum of all updates the owner applied since the last
+    broadcast to this subscriber, excluding the subscriber's own contributions
+    (which it already applied locally).  The subscriber adds the deltas to its
+    replicas.
+    """
+
+    keys: Tuple[int, ...]
+    deltas: np.ndarray
     responder_node: int
 
 

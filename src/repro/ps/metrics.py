@@ -76,7 +76,18 @@ class PSMetrics:
         cache_hits / cache_misses / cache_stale: Location-cache outcomes.
         clock_advances: Clock/barrier advances (stale PS and parameter
             blocking).
-        replica_refreshes: Replica values refreshed from owners (stale PS).
+        replica_refreshes: Replica values refreshed from owners (stale and
+            replica PS).
+        replica_reads: Key reads answered from a local replica.
+        replica_writes: Key writes applied to a local replica (replica PS).
+        replica_creates: Replicas installed on this node (replica PS).
+        replica_sync_rounds: Synchronization-loop firings (replica PS).
+        replica_flush_messages: Replica-holder → owner update-flush messages.
+        replica_broadcast_messages: Owner → subscriber delta broadcasts.
+        replica_sync_keys: Per-key entries carried by flush/broadcast messages.
+        replica_sync_bytes: Wire bytes of flush/broadcast messages (the
+            replication-maintenance traffic, the replication analogue of
+            Table 3's location-management traffic).
     """
 
     pulls_local: int = 0
@@ -100,6 +111,13 @@ class PSMetrics:
     clock_advances: int = 0
     replica_refreshes: int = 0
     replica_reads: int = 0
+    replica_writes: int = 0
+    replica_creates: int = 0
+    replica_sync_rounds: int = 0
+    replica_flush_messages: int = 0
+    replica_broadcast_messages: int = 0
+    replica_sync_keys: int = 0
+    replica_sync_bytes: int = 0
 
     @property
     def pulls_total(self) -> int:
@@ -157,6 +175,13 @@ class PSMetrics:
             "clock_advances",
             "replica_refreshes",
             "replica_reads",
+            "replica_writes",
+            "replica_creates",
+            "replica_sync_rounds",
+            "replica_flush_messages",
+            "replica_broadcast_messages",
+            "replica_sync_keys",
+            "replica_sync_bytes",
         ):
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         merged.relocation_time = self.relocation_time.merge(other.relocation_time)
@@ -195,4 +220,11 @@ class PSMetrics:
             "clock_advances": self.clock_advances,
             "replica_refreshes": self.replica_refreshes,
             "replica_reads": self.replica_reads,
+            "replica_writes": self.replica_writes,
+            "replica_creates": self.replica_creates,
+            "replica_sync_rounds": self.replica_sync_rounds,
+            "replica_flush_messages": self.replica_flush_messages,
+            "replica_broadcast_messages": self.replica_broadcast_messages,
+            "replica_sync_keys": self.replica_sync_keys,
+            "replica_sync_bytes": self.replica_sync_bytes,
         }

@@ -1,4 +1,4 @@
-"""Key partitioners: static assignment of keys to nodes.
+"""Key partitioners and hot-key replication policies.
 
 Classic parameter servers allocate parameters statically via a partitioning of
 the key space (range or hash partitioning, §2.2.1).  Lapse uses the same
@@ -8,11 +8,17 @@ static partitioning to assign each key its *home node* (§3.5), while the
 ``random_key_mapping`` implements the key-randomization trick from footnote 5
 of the paper: assigning random keys to parameters spreads hot parameters over
 servers when the application's natural key order is skewed.
+
+The :class:`HotKeyPolicy` family decides which keys a *replication*-based PS
+(:class:`repro.ps.replica.ReplicaPS`) replicates to an accessing node — the
+alternative to relocation that the paper contrasts DPA with in its related
+work discussion.  Policies are per-node (each node tracks its own accesses)
+and purely local: they never communicate.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -143,3 +149,99 @@ def make_partitioner(kind: str, num_keys: int, num_nodes: int) -> KeyPartitioner
     if kind == "hash":
         return HashPartitioner(num_keys, num_nodes)
     raise PartitionError(f"unknown partitioner kind {kind!r}")
+
+
+# ----------------------------------------------------------- hot-key policies
+class HotKeyPolicy:
+    """Decides which keys a node replicates (replication-based PS only).
+
+    A node consults its policy on every access to a parameter it neither owns
+    nor already replicates: ``record_access`` is called first, then ``is_hot``
+    decides whether the node should install a replica of the key.  Policies
+    are stateful per node and see only that node's accesses.
+    """
+
+    def record_access(self, key: int) -> None:
+        """Note one access to a non-local ``key`` (default: no bookkeeping)."""
+
+    def is_hot(self, key: int) -> bool:
+        """Whether ``key`` should be replicated to this node."""
+        raise NotImplementedError
+
+
+class AccessCountHotKeyPolicy(HotKeyPolicy):
+    """Replicate a key once this node accessed it ``threshold`` times.
+
+    ``threshold=1`` replicates eagerly on the first access (every accessed key
+    is treated as hot); larger thresholds replicate only keys that a node
+    accesses repeatedly, keeping cold keys on their owner.
+    """
+
+    def __init__(self, threshold: int = 1) -> None:
+        if threshold < 1:
+            raise PartitionError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._counts: dict = {}
+
+    def record_access(self, key: int) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def is_hot(self, key: int) -> bool:
+        return self._counts.get(key, 0) >= self.threshold
+
+    def access_count(self, key: int) -> int:
+        """Number of accesses recorded for ``key`` on this node."""
+        return self._counts.get(key, 0)
+
+
+class ExplicitHotKeyPolicy(HotKeyPolicy):
+    """Replicate exactly the keys in a fixed application-provided hot set."""
+
+    def __init__(self, hot_keys: Sequence[int], num_keys: Optional[int] = None) -> None:
+        keys = frozenset(int(key) for key in hot_keys)
+        for key in keys:
+            if key < 0:
+                raise PartitionError(f"hot key {key} must be non-negative")
+            if num_keys is not None and key >= num_keys:
+                raise PartitionError(
+                    f"hot key {key} out of range [0, {num_keys})"
+                )
+        self.hot_keys = keys
+
+    def is_hot(self, key: int) -> bool:
+        return key in self.hot_keys
+
+
+class NoReplicationPolicy(HotKeyPolicy):
+    """Never replicate: the replica PS degenerates to a classic PS."""
+
+    def is_hot(self, key: int) -> bool:
+        return False
+
+
+def make_hot_key_policy(
+    kind: str,
+    *,
+    threshold: int = 1,
+    hot_keys: Optional[Sequence[int]] = None,
+    num_keys: Optional[int] = None,
+) -> HotKeyPolicy:
+    """Factory for the built-in hot-key policy kinds.
+
+    Args:
+        kind: ``"access_count"`` (replicate after ``threshold`` accesses),
+            ``"explicit"`` (replicate a fixed ``hot_keys`` set), or
+            ``"none"`` (never replicate).
+        threshold: Access count at which a key becomes hot (``access_count``).
+        hot_keys: The fixed hot set (``explicit`` only).
+        num_keys: Optional key-space size used to validate ``hot_keys``.
+    """
+    if kind == "access_count":
+        return AccessCountHotKeyPolicy(threshold)
+    if kind == "explicit":
+        if hot_keys is None:
+            raise PartitionError("explicit hot-key policy requires hot_keys")
+        return ExplicitHotKeyPolicy(hot_keys, num_keys=num_keys)
+    if kind == "none":
+        return NoReplicationPolicy()
+    raise PartitionError(f"unknown hot-key policy kind {kind!r}")

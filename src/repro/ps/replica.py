@@ -1,0 +1,582 @@
+"""Replication-based parameter server (the alternative the paper contrasts DPA with).
+
+Where Lapse *relocates* a parameter so that exactly one node holds it at a
+time, a replication-based PS *copies* hot parameters to every node that
+accesses them and keeps the copies loosely synchronized.  The paper's related
+work discusses this family (and the NuPS follow-up formalizes it); this module
+implements a representative member so that relocation and replication can be
+compared head-to-head on the same simulated cluster:
+
+* **Eager replication.** The first access that a node's hot-key policy
+  (:mod:`repro.ps.partition`) classifies as hot triggers a subscription at the
+  key's owner: the owner records the subscriber and answers with a value
+  snapshot (:class:`~repro.ps.messages.ReplicaInstall`).  From then on the
+  node reads the key through shared memory, exactly like Lapse reads a
+  relocated key.
+* **Local writes with conflict-free aggregation.** Writes to a replicated key
+  are applied to the local replica immediately and accumulated in a per-node
+  buffer.  Because PS updates are cumulative (additive), buffered updates from
+  different nodes commute: the owner simply sums whatever arrives — no locks,
+  no conflicts, no lost updates.
+* **Configurable synchronization loop.** Accumulated updates propagate either
+  on a per-node timer (``replica_sync_trigger="time"``, period
+  ``replica_sync_interval``) or whenever a worker advances its clock
+  (``"clock"``).  A synchronization round flushes local updates to owners
+  (:class:`~repro.ps.messages.ReplicaSyncFlush`) and broadcasts aggregated
+  *other-node* deltas from owners to subscribers
+  (:class:`~repro.ps.messages.ReplicaDeltaBroadcast`); a subscriber never
+  receives its own updates back, so nothing is double-counted.
+
+The price of replication is consistency (§3.4 of the paper makes the same
+point for location caches and stale replicas): between synchronization rounds
+a replica read can miss other nodes' committed writes, so per-key sequential
+consistency is lost.  What remains is eventual consistency — once updates stop
+and a synchronization round drains, all copies converge to the owner value —
+plus the local session guarantees (a node always sees its own writes).  The
+consistency test-suite demonstrates both directions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config import message_size
+from repro.errors import ParameterServerError
+from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.ps.futures import OperationHandle
+from repro.ps.messages import (
+    PullRequest,
+    PullResponse,
+    PushAck,
+    PushRequest,
+    ReplicaDeltaBroadcast,
+    ReplicaInstall,
+    ReplicaRegisterRequest,
+    ReplicaSyncFlush,
+)
+from repro.ps.partition import HotKeyPolicy, make_hot_key_policy
+from repro.simnet.events import Event
+
+
+@dataclass
+class InstallingKey:
+    """Operations issued for a key while its replica install is in flight.
+
+    Mirrors Lapse's relocation queue: accesses issued between the subscribe
+    request and the arrival of the snapshot are buffered and processed, in
+    program order, once the replica is installed.
+    """
+
+    key: int
+    #: Queued operations as ``("pull", handle, None)`` / ``("push", handle, update)``.
+    ops: List[Tuple[str, OperationHandle, Optional[np.ndarray]]] = field(
+        default_factory=list
+    )
+    #: Deltas broadcast by the owner that overtook the snapshot install (a
+    #: broadcast for few keys can be shorter, hence faster, than the install).
+    pending_deltas: List[np.ndarray] = field(default_factory=list)
+
+
+class ReplicaNodeState(NodeState):
+    """Per-node state of the replica PS: replica store, buffers, subscriptions."""
+
+    def __init__(self, ps: "ReplicaPS", node) -> None:
+        super().__init__(ps, node)
+        config = ps.ps_config
+        #: Local replicas of remote parameters: key -> current value.
+        self.replicas: Dict[int, np.ndarray] = {}
+        #: Updates applied to local replicas but not yet flushed to the owner.
+        self.pending_updates: Dict[int, np.ndarray] = {}
+        #: Keys whose replica install is in flight, with queued operations.
+        self.installing: Dict[int, InstallingKey] = {}
+        #: Owner side: nodes holding a replica of each locally-owned key.
+        self.subscribers: Dict[int, Set[int]] = defaultdict(set)
+        #: Owner side: per-subscriber aggregated deltas awaiting broadcast.
+        self.broadcast_buffer: Dict[int, Dict[int, np.ndarray]] = defaultdict(dict)
+        #: This node's hot-key replication policy (per-node access counts).
+        self.policy: HotKeyPolicy = make_hot_key_policy(
+            config.hot_key_policy,
+            threshold=config.hot_key_threshold,
+            hot_keys=config.hot_keys,
+            num_keys=config.num_keys,
+        )
+        #: Whether a time-triggered synchronization event is already scheduled.
+        self.sync_timer_pending = False
+
+    @property
+    def sync_dirty(self) -> bool:
+        """Whether this node has unsynchronized replica state."""
+        if self.pending_updates:
+            return True
+        return any(deltas for deltas in self.broadcast_buffer.values())
+
+
+class ReplicaWorkerClient(WorkerClient):
+    """Client of the replica PS: replica reads/writes, owner routing otherwise."""
+
+    state: ReplicaNodeState
+
+    # ------------------------------------------------------------------- pull
+    def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
+        state = self.state
+        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
+        metrics = state.metrics
+        local_keys: List[int] = []
+        replica_keys: List[int] = []
+        register_groups: Dict[int, List[int]] = defaultdict(list)
+        remote_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in keys:
+            owner = ps.partitioner.node_of(key)
+            if owner == self.node_id:
+                local_keys.append(key)
+            elif key in state.replicas:
+                replica_keys.append(key)
+            elif key in state.installing:
+                # Answered locally once the install arrives (like Lapse's
+                # queued operations during a relocation).
+                metrics.queued_ops += 1
+                metrics.key_reads_local += 1
+                metrics.replica_reads += 1
+                state.installing[key].ops.append(("pull", handle, None))
+            else:
+                state.policy.record_access(key)
+                if state.policy.is_hot(key):
+                    state.installing[key] = InstallingKey(key=key)
+                    state.installing[key].ops.append(("pull", handle, None))
+                    register_groups[owner].append(key)
+                else:
+                    remote_groups[owner].append(key)
+        if local_keys:
+            metrics.key_reads_local += len(local_keys)
+            self._local_pull(handle, local_keys, from_replica=False)
+        if replica_keys:
+            metrics.key_reads_local += len(replica_keys)
+            metrics.replica_reads += len(replica_keys)
+            self._local_pull(handle, replica_keys, from_replica=True)
+        for owner, owner_keys in register_groups.items():
+            metrics.key_reads_remote += len(owner_keys)
+            self._send_register(owner, owner_keys)
+        for owner, owner_keys in remote_groups.items():
+            metrics.key_reads_remote += len(owner_keys)
+            self._send_remote(handle, owner, owner_keys, pull=True)
+        if register_groups or remote_groups:
+            metrics.pulls_remote += 1
+        else:
+            metrics.pulls_local += 1
+
+    # ------------------------------------------------------------------- push
+    def _issue_push(
+        self,
+        handle: OperationHandle,
+        keys: Tuple[int, ...],
+        updates: np.ndarray,
+        needs_ack: bool,
+    ) -> None:
+        state = self.state
+        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
+        metrics = state.metrics
+        key_to_row = {key: index for index, key in enumerate(keys)}
+        local_keys: List[int] = []
+        replica_keys: List[int] = []
+        remote_groups: Dict[int, List[int]] = defaultdict(list)
+        for key in keys:
+            owner = ps.partitioner.node_of(key)
+            if owner == self.node_id:
+                local_keys.append(key)
+            elif key in state.replicas:
+                replica_keys.append(key)
+            elif key in state.installing:
+                metrics.queued_ops += 1
+                metrics.key_writes_local += 1
+                metrics.replica_writes += 1
+                state.installing[key].ops.append(
+                    ("push", handle, updates[key_to_row[key]].copy())
+                )
+            else:
+                # Replication is established on reads; a write to a key this
+                # node does not replicate goes straight to the owner (and still
+                # counts toward the hot-key policy's access statistics).
+                state.policy.record_access(key)
+                remote_groups[owner].append(key)
+        if local_keys or replica_keys:
+            metrics.key_writes_local += len(local_keys) + len(replica_keys)
+            metrics.replica_writes += len(replica_keys)
+            self._local_push(handle, local_keys, replica_keys, updates, key_to_row)
+        for owner, owner_keys in remote_groups.items():
+            metrics.key_writes_remote += len(owner_keys)
+            self._send_remote(
+                handle, owner, owner_keys, pull=False, updates=updates, key_to_row=key_to_row
+            )
+        if remote_groups:
+            metrics.pushes_remote += 1
+        else:
+            metrics.pushes_local += 1
+
+    # ------------------------------------------------------------ local access
+    def _local_pull(
+        self, handle: OperationHandle, keys: List[int], from_replica: bool
+    ) -> None:
+        cost = self.ps.cluster.cost_model
+        delay = cost.local_access_time(shared_memory=True) * len(keys)
+        state = self.state
+
+        def action() -> None:
+            values = []
+            for key in keys:
+                if from_replica:
+                    state.latches.acquire(key)
+                    values.append(state.replicas[key].copy())
+                else:
+                    values.append(state.read_local(key))
+            handle.complete_keys(keys, np.vstack(values))
+
+        self._complete_after(delay, action)
+
+    def _local_push(
+        self,
+        handle: OperationHandle,
+        owned_keys: List[int],
+        replica_keys: List[int],
+        updates: np.ndarray,
+        key_to_row: Dict[int, int],
+    ) -> None:
+        cost = self.ps.cluster.cost_model
+        delay = cost.local_access_time(shared_memory=True) * (
+            len(owned_keys) + len(replica_keys)
+        )
+        state = self.state
+        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
+
+        def action() -> None:
+            for key in owned_keys:
+                update = updates[key_to_row[key]]
+                state.write_local(key, update)
+                ps.enqueue_broadcast(state, key, update)
+            for key in replica_keys:
+                update = updates[key_to_row[key]]
+                ps.apply_replica_write(state, key, update)
+            handle.complete_keys(owned_keys + replica_keys)
+
+        self._complete_after(delay, action)
+
+    # --------------------------------------------------------------- messaging
+    def _send_register(self, owner: int, keys: List[int]) -> None:
+        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
+        request = ReplicaRegisterRequest(
+            keys=tuple(keys),
+            requester_node=self.node_id,
+            reply_to=van_address(self.node_id),
+        )
+        ps.send_to_server(self.node_id, owner, request, message_size(len(keys), 0))
+
+    # _send_remote is inherited from WorkerClient: chunked pull/push requests
+    # routed to the owner's server, with op ids registered for the van.
+
+    # --------------------------------------------------------- opportunistic
+    def pull_if_local(self, key: int) -> Optional[np.ndarray]:
+        """Return ``key``'s value if owned or replicated locally, else ``None``.
+
+        A miss still counts toward the hot-key policy and, once the key is
+        hot, starts a background replica install so that later opportunistic
+        reads (e.g. re-sampled negatives, Appendix A) hit locally.
+        """
+        key = int(self._check_keys([key])[0])
+        state = self.state
+        if state.storage.contains(key):
+            state.metrics.key_reads_local += 1
+            state.metrics.pulls_local += 1
+            return state.read_local(key)
+        if key in state.replicas:
+            state.metrics.key_reads_local += 1
+            state.metrics.pulls_local += 1
+            state.metrics.replica_reads += 1
+            state.latches.acquire(key)
+            return state.replicas[key].copy()
+        if key not in state.installing:
+            state.policy.record_access(key)
+            if state.policy.is_hot(key):
+                state.installing[key] = InstallingKey(key=key)
+                owner = self.ps.partitioner.node_of(key)
+                self._send_register(owner, [key])
+        return None
+
+    # ------------------------------------------------------------------ clock
+    def clock(self) -> Generator:
+        """Advance the worker clock; in ``"clock"`` mode, synchronize the node.
+
+        Clock-triggered synchronization is non-blocking: the flush and the
+        owners' subsequent broadcasts propagate asynchronously, so ``clock``
+        bounds *when* updates start to propagate, not when they are visible.
+        """
+        self._clock += 1
+        self.state.metrics.clock_advances += 1
+        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
+        if self.ps.ps_config.replica_sync_trigger == "clock":
+            ps.synchronize_node(self.state)
+        return
+        yield  # pragma: no cover - makes this function a generator
+
+
+class ReplicaPS(ParameterServer):
+    """Replication-based parameter server with eager hot-key replication."""
+
+    client_class = ReplicaWorkerClient
+    name = "replica"
+
+    def _make_node_state(self, node) -> ReplicaNodeState:
+        return ReplicaNodeState(self, node)
+
+    # ---------------------------------------------------------- replica state
+    def apply_replica_write(
+        self, state: ReplicaNodeState, key: int, update: np.ndarray
+    ) -> None:
+        """Apply ``update`` to the local replica and buffer it for the owner."""
+        state.latches.acquire(key)
+        state.replicas[key] = state.replicas[key] + update
+        pending = state.pending_updates.get(key)
+        if pending is None:
+            state.pending_updates[key] = update.copy()
+        else:
+            state.pending_updates[key] = pending + update
+        self._mark_dirty(state)
+
+    def enqueue_broadcast(
+        self,
+        state: ReplicaNodeState,
+        key: int,
+        update: np.ndarray,
+        exclude: Optional[int] = None,
+    ) -> None:
+        """Owner side: buffer ``update`` for every subscriber except ``exclude``."""
+        for subscriber in state.subscribers.get(key, ()):  # type: ignore[arg-type]
+            if subscriber == exclude:
+                continue
+            per_key = state.broadcast_buffer[subscriber]
+            delta = per_key.get(key)
+            if delta is None:
+                per_key[key] = update.copy()
+            else:
+                per_key[key] = delta + update
+        self._mark_dirty(state)
+
+    # ------------------------------------------------------- synchronization
+    def _mark_dirty(self, state: ReplicaNodeState) -> None:
+        """Schedule a time-triggered synchronization round if one is due.
+
+        The timer is demand-driven: it is armed only while the node holds
+        unsynchronized state, so a quiescent cluster schedules no events and
+        the simulation terminates.
+        """
+        if self.ps_config.replica_sync_trigger != "time":
+            return
+        if state.sync_timer_pending or not state.sync_dirty:
+            return
+        state.sync_timer_pending = True
+        event = Event(self.sim)
+
+        def fire(_event: Event) -> None:
+            state.sync_timer_pending = False
+            self.synchronize_node(state)
+
+        event.callbacks.append(fire)
+        event.succeed(delay=self.ps_config.replica_sync_interval)
+
+    def synchronize_node(self, state: ReplicaNodeState) -> None:
+        """Run one synchronization round for ``state``'s node.
+
+        Flushes the node's pending replica updates to their owners and
+        broadcasts the owner-side delta buffers to subscribers.  Both message
+        kinds carry additive aggregates, so processing order across nodes does
+        not matter.
+        """
+        metrics = state.metrics
+        if not state.sync_dirty:
+            return
+        metrics.replica_sync_rounds += 1
+        if state.pending_updates:
+            groups: Dict[int, Dict[int, np.ndarray]] = defaultdict(dict)
+            for key, update in state.pending_updates.items():
+                groups[self.partitioner.node_of(key)][key] = update
+            state.pending_updates = {}
+            for owner, per_key in groups.items():
+                keys = tuple(sorted(per_key))
+                updates = np.vstack([per_key[key] for key in keys])
+                size = message_size(len(keys), updates.size)
+                metrics.replica_flush_messages += 1
+                metrics.replica_sync_keys += len(keys)
+                metrics.replica_sync_bytes += size
+                flush = ReplicaSyncFlush(
+                    keys=keys,
+                    updates=updates,
+                    source_node=state.node_id,
+                )
+                self.send_to_server(state.node_id, owner, flush, size)
+        if any(state.broadcast_buffer.values()):
+            buffers = state.broadcast_buffer
+            state.broadcast_buffer = defaultdict(dict)
+            for subscriber, per_key in buffers.items():
+                if not per_key:
+                    continue
+                keys = tuple(sorted(per_key))
+                deltas = np.vstack([per_key[key] for key in keys])
+                size = message_size(len(keys), deltas.size)
+                metrics.replica_broadcast_messages += 1
+                metrics.replica_sync_keys += len(keys)
+                metrics.replica_sync_bytes += size
+                broadcast = ReplicaDeltaBroadcast(
+                    keys=keys, deltas=deltas, responder_node=state.node_id
+                )
+                self.send_to_server(state.node_id, subscriber, broadcast, size)
+
+    def synchronize_all(self) -> None:
+        """Force a synchronization round on every node (tests and benchmarks)."""
+        for state in self.states:
+            self.synchronize_node(state)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ server loop
+    def _server_loop(self, state: ReplicaNodeState) -> Generator:  # type: ignore[override]
+        cost = self.cluster.cost_model
+        while True:
+            message = yield state.node.server_inbox.get()
+            yield cost.server_processing_time
+            if isinstance(message, PullRequest):
+                self._handle_pull(state, message)
+            elif isinstance(message, PushRequest):
+                self._handle_push(state, message)
+            elif isinstance(message, ReplicaRegisterRequest):
+                self._handle_register(state, message)
+            elif isinstance(message, ReplicaSyncFlush):
+                self._handle_flush(state, message)
+            elif isinstance(message, ReplicaDeltaBroadcast):
+                self._handle_broadcast(state, message)
+            else:
+                raise ParameterServerError(
+                    f"replica PS server on node {state.node_id} received unexpected "
+                    f"message {message!r}"
+                )
+
+    def _check_owned(self, state: ReplicaNodeState, key: int, what: str) -> None:
+        if not state.storage.contains(key):
+            raise ParameterServerError(
+                f"replica PS node {state.node_id} received a {what} for key {key} "
+                "it does not own"
+            )
+
+    def _handle_pull(self, state: ReplicaNodeState, request: PullRequest) -> None:
+        values = []
+        for key in request.keys:
+            self._check_owned(state, key, "pull")
+            values.append(state.read_local(key))
+        response = PullResponse(
+            op_id=request.op_id,
+            keys=request.keys,
+            values=np.vstack(values),
+            responder_node=state.node_id,
+        )
+        size = message_size(
+            len(request.keys), len(request.keys) * self.ps_config.value_length
+        )
+        self.network.send(state.node_id, request.reply_to, response, size)
+
+    def _handle_push(self, state: ReplicaNodeState, request: PushRequest) -> None:
+        for index, key in enumerate(request.keys):
+            self._check_owned(state, key, "push")
+            update = request.updates[index]
+            state.write_local(key, update)
+            # The requester had no replica when it issued this push, so it is
+            # NOT excluded: if it subscribed while the push was in flight, its
+            # snapshot predates the push and the delta must reach it.
+            self.enqueue_broadcast(state, key, update)
+        if request.needs_ack:
+            ack = PushAck(
+                op_id=request.op_id, keys=request.keys, responder_node=state.node_id
+            )
+            self.network.send(
+                state.node_id, request.reply_to, ack, message_size(len(request.keys), 0)
+            )
+
+    def _handle_register(
+        self, state: ReplicaNodeState, request: ReplicaRegisterRequest
+    ) -> None:
+        values = []
+        for key in request.keys:
+            self._check_owned(state, key, "replica subscription")
+            state.subscribers[key].add(request.requester_node)
+            values.append(state.read_local(key))
+        install = ReplicaInstall(
+            keys=request.keys,
+            values=np.vstack(values),
+            responder_node=state.node_id,
+        )
+        size = message_size(
+            len(request.keys), len(request.keys) * self.ps_config.value_length
+        )
+        self.network.send(state.node_id, request.reply_to, install, size)
+
+    def _handle_flush(self, state: ReplicaNodeState, flush: ReplicaSyncFlush) -> None:
+        for index, key in enumerate(flush.keys):
+            self._check_owned(state, key, "replica update flush")
+            update = flush.updates[index]
+            state.write_local(key, update)
+            # The source applied these updates to its own replica already.
+            self.enqueue_broadcast(state, key, update, exclude=flush.source_node)
+        if self.ps_config.replica_sync_trigger == "clock":
+            # Clock mode has no timer to drain the owner-side buffers, and the
+            # owner's own workers may be past their last clock when this flush
+            # arrives; broadcast on receipt so replicas still converge.
+            self.synchronize_node(state)
+
+    def _handle_broadcast(
+        self, state: ReplicaNodeState, broadcast: ReplicaDeltaBroadcast
+    ) -> None:
+        for index, key in enumerate(broadcast.keys):
+            if key in state.replicas:
+                state.latches.acquire(key)
+                state.replicas[key] = state.replicas[key] + broadcast.deltas[index]
+            elif key in state.installing:
+                # The owner subscribed us and then broadcast before our install
+                # arrived; apply the delta once the snapshot is in place.
+                state.installing[key].pending_deltas.append(
+                    broadcast.deltas[index].copy()
+                )
+            else:
+                raise ParameterServerError(
+                    f"replica PS node {state.node_id} received a delta for key {key} "
+                    "it does not replicate"
+                )
+        state.metrics.replica_refreshes += len(broadcast.keys)
+
+    # -------------------------------------------------------------------- van
+    def _handle_extra_van_message(self, state: ReplicaNodeState, message: Any) -> None:  # type: ignore[override]
+        if not isinstance(message, ReplicaInstall):
+            super()._handle_extra_van_message(state, message)
+            return
+        for index, key in enumerate(message.keys):
+            entry = state.installing.pop(key, None)
+            if entry is None:
+                raise ParameterServerError(
+                    f"replica PS node {state.node_id} received an install for key "
+                    f"{key} it did not request"
+                )
+            state.replicas[key] = message.values[index].copy()
+            state.metrics.replica_creates += 1
+            for delta in entry.pending_deltas:
+                state.replicas[key] = state.replicas[key] + delta
+            for kind, handle, update in entry.ops:
+                if kind == "pull":
+                    state.latches.acquire(key)
+                    handle.complete_keys([key], state.replicas[key].copy().reshape(1, -1))
+                else:
+                    self.apply_replica_write(state, key, update)
+                    handle.complete_keys([key])
+
+    # --------------------------------------------------------------- inspection
+    def replica_holders(self, key: int) -> Tuple[int, ...]:
+        """Nodes currently holding a replica of ``key`` (outside simulation)."""
+        owner = self.partitioner.node_of(key)
+        owner_state: ReplicaNodeState = self.states[owner]  # type: ignore[assignment]
+        return tuple(sorted(owner_state.subscribers.get(key, ())))

@@ -19,7 +19,7 @@ from repro.consistency import (
     check_writes_follow_reads,
     consistency_report,
 )
-from repro.consistency.checkers import check_causal
+from repro.consistency.checkers import check_causal, check_eventual_after
 from repro.ps import ClassicPS, LapsePS, StalePS
 
 
@@ -102,6 +102,30 @@ class TestCheckersOnHandCraftedHistories:
         _push(history, worker=0, seq=0, push_id=0, t=0.0)
         _pull(history, worker=1, seq=0, observed_ids=[], t=10.0)  # after quiescence
         assert not check_eventual(history).ok
+
+    def test_eventual_after_ignores_pre_quiescence_reads(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[], t=1.0)  # stale, pre-quiescence
+        _pull(history, worker=1, seq=1, observed_ids=[0], t=5.0)
+        assert not check_eventual(history).ok  # the built-in quiescence point fails
+        assert check_eventual_after(history, quiesce_time=2.0).ok
+
+    def test_eventual_after_detects_missed_pushes(self):
+        history = History(key=0)
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[], t=5.0)
+        result = check_eventual_after(history, quiesce_time=2.0)
+        assert not result.ok
+        assert "missed pushes" in result.reason
+
+    def test_eventual_after_vacuous_cases(self):
+        history = History(key=0)
+        assert check_eventual_after(history, quiesce_time=0.0).ok  # no pushes
+        _push(history, worker=0, seq=0, push_id=0, t=0.0)
+        _pull(history, worker=1, seq=0, observed_ids=[], t=1.0)
+        # No pull after the quiescence point: nothing to check.
+        assert check_eventual_after(history, quiesce_time=10.0).ok
 
     def test_exhaustive_rejects_large_histories(self):
         history = History(key=0)

@@ -16,7 +16,7 @@ from repro.experiments import (
     speedup,
 )
 from repro.experiments.scenarios import epoch_time, matrix_factorization_scenario
-from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, StalePS
+from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, ReplicaPS, StalePS
 
 TINY_MF = MFScale(num_rows=24, num_cols=16, num_entries=120, rank=4, compute_time_per_entry=1e-6)
 TINY_KGE = KGEScale(num_entities=30, num_relations=4, num_triples=40, entity_dim=2,
@@ -38,6 +38,12 @@ class TestMakeParameterServer:
         ssppush = make_parameter_server("stale_ssppush", cluster, config)
         assert isinstance(ssp, StalePS) and not ssp.server_push
         assert isinstance(ssppush, StalePS) and ssppush.server_push
+        replica = make_parameter_server("replica", cluster, config)
+        replica_clock = make_parameter_server("replica_clock", cluster, config)
+        assert isinstance(replica, ReplicaPS)
+        assert replica.ps_config.replica_sync_trigger == "time"
+        assert isinstance(replica_clock, ReplicaPS)
+        assert replica_clock.ps_config.replica_sync_trigger == "clock"
 
     def test_unknown_system_rejected(self):
         cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
@@ -47,7 +53,10 @@ class TestMakeParameterServer:
 
 
 class TestRunners:
-    @pytest.mark.parametrize("system", ["classic", "classic_fast_local", "lapse", "stale_ssp", "lowlevel"])
+    @pytest.mark.parametrize(
+        "system",
+        ["classic", "classic_fast_local", "lapse", "stale_ssp", "lowlevel", "replica", "replica_clock"],
+    )
     def test_mf_runs_on_every_system(self, system):
         result = run_mf_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_MF)
         assert result.task == "matrix_factorization"
@@ -55,7 +64,9 @@ class TestRunners:
         assert result.epoch_duration > 0
         assert result.parallelism == "2x1"
 
-    @pytest.mark.parametrize("system", ["classic_fast_local", "lapse", "lapse_clustering_only"])
+    @pytest.mark.parametrize(
+        "system", ["classic_fast_local", "lapse", "lapse_clustering_only", "replica"]
+    )
     def test_kge_runs(self, system):
         result = run_kge_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_KGE)
         assert result.task == "kge_complex"
@@ -65,10 +76,17 @@ class TestRunners:
         result = run_kge_experiment("lapse", num_nodes=1, workers_per_node=1, model="rescal", scale=TINY_KGE)
         assert result.task == "kge_rescal"
 
-    def test_w2v_runs(self):
-        result = run_w2v_experiment("lapse", num_nodes=2, workers_per_node=1, scale=TINY_W2V)
+    @pytest.mark.parametrize("system", ["lapse", "replica"])
+    def test_w2v_runs(self, system):
+        result = run_w2v_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_W2V)
         assert result.task == "word2vec"
         assert result.epoch_duration > 0
+
+    def test_replica_reports_replication_metrics(self):
+        result = run_mf_experiment("replica", num_nodes=2, workers_per_node=1, scale=TINY_MF)
+        assert result.metrics.replica_creates > 0
+        assert result.metrics.replica_sync_rounds > 0
+        assert result.metrics.replica_sync_bytes > 0
 
     def test_loss_computation_optional(self):
         with_loss = run_mf_experiment(

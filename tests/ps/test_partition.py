@@ -1,4 +1,4 @@
-"""Unit and property-based tests for key partitioners."""
+"""Unit and property-based tests for key partitioners and hot-key policies."""
 
 import numpy as np
 import pytest
@@ -7,9 +7,13 @@ from hypothesis import strategies as st
 
 from repro.errors import PartitionError
 from repro.ps.partition import (
+    AccessCountHotKeyPolicy,
+    ExplicitHotKeyPolicy,
     ExplicitPartitioner,
     HashPartitioner,
+    NoReplicationPolicy,
     RangePartitioner,
+    make_hot_key_policy,
     make_partitioner,
     random_key_mapping,
 )
@@ -48,6 +52,24 @@ class TestRangePartitioner:
         covered = {part.node_of(k) for k in range(2)}
         assert len(covered) == 2
 
+    def test_empty_ranges_when_nodes_exceed_keys(self):
+        """Nodes beyond the key count get empty (but valid) ranges."""
+        part = RangePartitioner(num_keys=3, num_nodes=5)
+        assert part.keys_of(3) == []
+        assert part.keys_of(4) == []
+        for node in (3, 4):
+            start, end = part.range_of(node)
+            assert start == end
+        # Every key is still covered exactly once.
+        all_keys = [key for node in range(5) for key in part.keys_of(node)]
+        assert sorted(all_keys) == [0, 1, 2]
+
+    def test_single_key_single_node(self):
+        part = RangePartitioner(num_keys=1, num_nodes=1)
+        assert part.node_of(0) == 0
+        assert part.keys_of(0) == [0]
+        assert part.range_of(0) == (0, 1)
+
     def test_invalid_arguments(self):
         with pytest.raises(PartitionError):
             RangePartitioner(0, 1)
@@ -58,6 +80,75 @@ class TestRangePartitioner:
             part.node_of(7)
         with pytest.raises(PartitionError):
             part.keys_of(9)
+
+
+class TestHotKeyPolicies:
+    def test_access_count_threshold_boundary(self):
+        policy = AccessCountHotKeyPolicy(threshold=3)
+        assert not policy.is_hot(7)
+        policy.record_access(7)
+        policy.record_access(7)
+        assert not policy.is_hot(7)  # one below the threshold
+        policy.record_access(7)
+        assert policy.is_hot(7)  # exactly at the threshold
+        policy.record_access(7)
+        assert policy.is_hot(7)  # and beyond
+        assert policy.access_count(7) == 4
+        assert policy.access_count(8) == 0
+
+    def test_access_counts_are_per_key(self):
+        policy = AccessCountHotKeyPolicy(threshold=2)
+        policy.record_access(1)
+        policy.record_access(2)
+        assert not policy.is_hot(1) and not policy.is_hot(2)
+        policy.record_access(1)
+        assert policy.is_hot(1)
+        assert not policy.is_hot(2)
+
+    def test_threshold_one_is_eager(self):
+        policy = AccessCountHotKeyPolicy(threshold=1)
+        policy.record_access(0)
+        assert policy.is_hot(0)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(PartitionError):
+            AccessCountHotKeyPolicy(threshold=0)
+        with pytest.raises(PartitionError):
+            make_hot_key_policy("access_count", threshold=-1)
+
+    def test_explicit_policy_boundaries(self):
+        policy = ExplicitHotKeyPolicy([0, 4], num_keys=5)
+        assert policy.is_hot(0)
+        assert policy.is_hot(4)  # last valid key
+        assert not policy.is_hot(3)
+        policy.record_access(3)  # recording never changes an explicit set
+        assert not policy.is_hot(3)
+
+    def test_explicit_policy_validates_keys(self):
+        with pytest.raises(PartitionError):
+            ExplicitHotKeyPolicy([5], num_keys=5)  # one past the end
+        with pytest.raises(PartitionError):
+            ExplicitHotKeyPolicy([-1])
+        # Without a key-space size, any non-negative key is accepted.
+        assert ExplicitHotKeyPolicy([10**6]).is_hot(10**6)
+
+    def test_empty_explicit_set_never_hot(self):
+        policy = ExplicitHotKeyPolicy([], num_keys=4)
+        assert not any(policy.is_hot(key) for key in range(4))
+
+    def test_no_replication_policy(self):
+        policy = NoReplicationPolicy()
+        policy.record_access(0)
+        assert not policy.is_hot(0)
+
+    def test_factory(self):
+        assert isinstance(make_hot_key_policy("access_count", threshold=2), AccessCountHotKeyPolicy)
+        assert isinstance(make_hot_key_policy("explicit", hot_keys=[1]), ExplicitHotKeyPolicy)
+        assert isinstance(make_hot_key_policy("none"), NoReplicationPolicy)
+        with pytest.raises(PartitionError):
+            make_hot_key_policy("explicit")  # hot_keys missing
+        with pytest.raises(PartitionError):
+            make_hot_key_policy("zigzag")
 
 
 class TestHashPartitioner:
