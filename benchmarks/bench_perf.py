@@ -1,0 +1,416 @@
+"""Wall-clock performance harness for the simulator's batch data path.
+
+Unlike the figure/table benchmarks (which regenerate the paper's *simulated*
+results), this suite measures how fast the simulator itself runs on the host,
+so that speedups and regressions of the Python data path are visible over
+time.  It records:
+
+* **storage microbenchmarks** — batched ``get_many`` / ``add_many`` /
+  ``set_many`` on :class:`DenseStorage` and :class:`SparseStorage` against a
+  per-key baseline that mirrors the pre-batch implementation (single-key ops,
+  ``vstack`` gather, reallocation-per-update sparse adds),
+* **server data-path microbenchmarks** — ``NodeState.read_local_many`` /
+  ``write_local_many`` (the code every server handler runs) against the
+  per-key read/write loop they replaced,
+* **kernel event throughput** — events processed per wall-clock second by the
+  discrete-event kernel,
+* **end-to-end workloads** — wall-clock seconds and steps per second for the
+  paper's MF / KGE / W2V tasks across the classic, Lapse, stale, and replica
+  parameter servers.
+
+Results are written to ``BENCH_PERF.json`` at the repository root so the perf
+trajectory is tracked in-repo.  Every run also asserts **parity**: the batch
+path must produce bit-identical results to the per-key path (this is the
+correctness guard CI runs via ``--smoke``; timings are recorded, never
+asserted, because CI machines are noisy).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full run
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke    # CI-sized run
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+import benchmark_utils  # noqa: F401  (inserts src/ into sys.path)
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.experiments.runner import (
+    KGEScale,
+    MFScale,
+    W2VScale,
+    run_kge_experiment,
+    run_mf_experiment,
+    run_w2v_experiment,
+)
+from repro.ps.base import ParameterServer
+from repro.ps.classic import ClassicSharedMemoryPS
+from repro.ps.storage import DenseStorage, SparseStorage
+from repro.simnet import Simulator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PERF.json")
+
+
+def _best_of(fn, repeats):
+    """Run ``fn`` ``repeats`` times and return (best_seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+# --------------------------------------------------------------------- parity
+class ParityError(AssertionError):
+    """Raised when the batch path diverges from the per-key path."""
+
+
+def _require(condition, message):
+    if not condition:
+        raise ParityError(message)
+
+
+def check_storage_parity(num_keys=64, value_length=8, seed=0):
+    """Assert that batch ops match sequences of single-key ops bit-for-bit."""
+    rng = np.random.default_rng(seed)
+    for dense in (True, False):
+        make = DenseStorage if dense else SparseStorage
+        batch_store = make(num_keys, value_length)
+        single_store = make(num_keys, value_length)
+        keys = list(range(0, num_keys, 2))
+        values = rng.normal(size=(len(keys), value_length))
+        batch_store.insert_many(keys, values)
+        for index, key in enumerate(keys):
+            single_store.insert(key, values[index])
+        # Duplicate keys in one add batch must accumulate.
+        add_keys = keys + keys[: len(keys) // 2]
+        updates = rng.normal(size=(len(add_keys), value_length))
+        batch_store.add_many(add_keys, updates)
+        for index, key in enumerate(add_keys):
+            single_store.add(key, updates[index])
+        gathered = batch_store.get_many(keys)
+        for index, key in enumerate(keys):
+            _require(
+                np.array_equal(gathered[index], single_store.get(key)),
+                f"{make.__name__}: get_many/add_many diverges at key {key}",
+            )
+        # set_many must overwrite exactly like per-key set.
+        new_values = rng.normal(size=(len(keys), value_length))
+        batch_store.set_many(keys, new_values)
+        for index, key in enumerate(keys):
+            single_store.set(key, new_values[index])
+            _require(
+                np.array_equal(batch_store.get(key), single_store.get(key)),
+                f"{make.__name__}: set_many diverges at key {key}",
+            )
+        removed = batch_store.remove_many(keys)
+        for index, key in enumerate(keys):
+            _require(
+                np.array_equal(removed[index], single_store.remove(key)),
+                f"{make.__name__}: remove_many diverges at key {key}",
+            )
+        _require(len(batch_store) == 0, f"{make.__name__}: remove_many left keys")
+
+
+def check_end_to_end_determinism():
+    """Assert that two identical runs produce identical simulated results."""
+    first = run_mf_experiment("lapse", num_nodes=2, workers_per_node=2, epochs=1)
+    second = run_mf_experiment("lapse", num_nodes=2, workers_per_node=2, epochs=1)
+    _require(
+        first.epoch_duration == second.epoch_duration
+        and first.remote_messages == second.remote_messages
+        and first.bytes_sent == second.bytes_sent,
+        "end-to-end run is not deterministic",
+    )
+
+
+# --------------------------------------------------------- storage microbench
+def _per_key_get(store, keys):
+    # Mirrors the pre-batch server path: one copy per key, then a vstack.
+    return np.vstack([store.get(key) for key in keys])
+
+
+def _per_key_add(store, keys, updates):
+    for index, key in enumerate(keys):
+        store.add(key, updates[index])
+
+
+def _per_key_add_realloc(store, keys, updates):
+    # Mirrors the seed SparseStorage.add: a new array per update.
+    values = store._values
+    for index, key in enumerate(keys):
+        values[key] = values[key] + updates[index]
+
+
+def _per_key_set(store, keys, values):
+    for index, key in enumerate(keys):
+        store.set(key, values[index])
+
+
+def bench_storage(batch_size, value_length, repeats, rounds=8):
+    """Batch vs per-key wall-clock on both store kinds; returns a report dict."""
+    rng = np.random.default_rng(1)
+    report = {"batch_size": batch_size, "value_length": value_length, "rounds": rounds}
+    num_keys = batch_size * 2
+    for dense in (True, False):
+        make = DenseStorage if dense else SparseStorage
+        store = make(num_keys, value_length, initial_keys=range(num_keys))
+        keys = list(rng.permutation(num_keys)[:batch_size])
+        updates = rng.normal(size=(batch_size, value_length))
+
+        def run_batch_get():
+            for _ in range(rounds):
+                out = store.get_many(keys)
+            return out
+
+        def run_per_key_get():
+            for _ in range(rounds):
+                out = _per_key_get(store, keys)
+            return out
+
+        def run_batch_add():
+            for _ in range(rounds):
+                store.add_many(keys, updates)
+
+        def run_per_key_add():
+            for _ in range(rounds):
+                if dense:
+                    _per_key_add(store, keys, updates)
+                else:
+                    _per_key_add_realloc(store, keys, updates)
+
+        def run_batch_set():
+            for _ in range(rounds):
+                store.set_many(keys, updates)
+
+        def run_per_key_set():
+            for _ in range(rounds):
+                _per_key_set(store, keys, updates)
+
+        batch_get_s, batch_out = _best_of(run_batch_get, repeats)
+        per_key_get_s, per_key_out = _best_of(run_per_key_get, repeats)
+        _require(
+            np.array_equal(batch_out, per_key_out),
+            f"{make.__name__}: get_many != per-key gets",
+        )
+        batch_add_s, _ = _best_of(run_batch_add, repeats)
+        per_key_add_s, _ = _best_of(run_per_key_add, repeats)
+        batch_set_s, _ = _best_of(run_batch_set, repeats)
+        per_key_set_s, _ = _best_of(run_per_key_set, repeats)
+        report["dense" if dense else "sparse"] = {
+            "get": _entry(per_key_get_s, batch_get_s, rounds),
+            "add": _entry(per_key_add_s, batch_add_s, rounds),
+            "set": _entry(per_key_set_s, batch_set_s, rounds),
+        }
+    return report
+
+
+def _entry(per_key_s, batch_s, rounds):
+    return {
+        "per_key_us": per_key_s / rounds * 1e6,
+        "batch_us": batch_s / rounds * 1e6,
+        "speedup": per_key_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+# ---------------------------------------------------------- server microbench
+def bench_server(batch_size, value_length, repeats, rounds=8):
+    """The server-handler data path: read_local_many / write_local_many."""
+    rng = np.random.default_rng(2)
+    num_keys = batch_size * 2
+    cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
+    ps = ClassicSharedMemoryPS(
+        cluster, ParameterServerConfig(num_keys=num_keys, value_length=value_length)
+    )
+    state = ps.states[0]
+    keys = list(rng.permutation(num_keys)[:batch_size])
+    updates = rng.normal(size=(batch_size, value_length))
+
+    def per_key_read():
+        # The seed server pull handler: latch + copy per key, then vstack.
+        for _ in range(rounds):
+            out = np.vstack([state.read_local(key) for key in keys])
+        return out
+
+    def batch_read():
+        for _ in range(rounds):
+            out = state.read_local_many(keys)
+        return out
+
+    def per_key_write():
+        for _ in range(rounds):
+            for index, key in enumerate(keys):
+                state.write_local(key, updates[index])
+
+    def batch_write():
+        for _ in range(rounds):
+            state.write_local_many(keys, updates)
+
+    batch_read_s, batch_out = _best_of(batch_read, repeats)
+    per_key_read_s, per_key_out = _best_of(per_key_read, repeats)
+    _require(
+        np.array_equal(batch_out, per_key_out),
+        "server read_local_many != per-key read_local",
+    )
+    batch_write_s, _ = _best_of(batch_write, repeats)
+    per_key_write_s, _ = _best_of(per_key_write, repeats)
+    return {
+        "batch_size": batch_size,
+        "value_length": value_length,
+        "rounds": rounds,
+        "read": _entry(per_key_read_s, batch_read_s, rounds),
+        "write": _entry(per_key_write_s, batch_write_s, rounds),
+    }
+
+
+# ------------------------------------------------------------ kernel throughput
+def bench_kernel(num_yields, repeats):
+    """Events processed per wall-clock second by the discrete-event kernel."""
+
+    def run():
+        sim = Simulator()
+
+        def chain():
+            for _ in range(num_yields):
+                yield 1e-6
+            return None
+
+        sim.run_process(chain())
+        return sim._sequence  # total events enqueued (timeouts + resumptions)
+
+    seconds, events = _best_of(run, repeats)
+    return {
+        "yields": num_yields,
+        "events": events,
+        "seconds": seconds,
+        "events_per_second": events / seconds if seconds > 0 else float("inf"),
+    }
+
+
+# ------------------------------------------------------------------ end to end
+def bench_end_to_end(smoke, repeats):
+    """Wall-clock per epoch for the paper workloads across PS variants."""
+    if smoke:
+        mf_scale = MFScale(num_rows=64, num_cols=32, num_entries=2000)
+        kge_scale = KGEScale(num_entities=100, num_triples=300)
+        w2v_scale = W2VScale(vocabulary_size=200, num_sentences=30)
+        epochs = 1
+    else:
+        mf_scale = MFScale()
+        kge_scale = KGEScale()
+        w2v_scale = W2VScale()
+        epochs = 2
+    runs = []
+    for system in ("classic", "lapse", "stale_ssp", "replica"):
+        runs.append(("matrix_factorization", system, mf_scale.num_entries, lambda s=system: run_mf_experiment(
+            s, num_nodes=2, workers_per_node=2, scale=mf_scale, epochs=epochs)))
+    for system in ("classic", "lapse", "replica"):
+        runs.append(("kge_complex", system, kge_scale.num_triples, lambda s=system: run_kge_experiment(
+            s, num_nodes=2, workers_per_node=2, scale=kge_scale, epochs=epochs)))
+    for system in ("classic", "lapse", "stale_ssp", "replica"):
+        runs.append(("word2vec", system, w2v_scale.num_sentences, lambda s=system: run_w2v_experiment(
+            s, num_nodes=2, workers_per_node=2, scale=w2v_scale, epochs=epochs)))
+    results = []
+    for task, system, steps_per_epoch, fn in runs:
+        seconds, result = _best_of(fn, repeats)
+        results.append(
+            {
+                "task": task,
+                "system": system,
+                "num_nodes": 2,
+                "workers_per_node": 2,
+                "epochs": epochs,
+                "steps_per_epoch": steps_per_epoch,
+                "wall_seconds": seconds,
+                "steps_per_wall_second": steps_per_epoch * epochs / seconds,
+                "simulated_epoch_seconds": result.epoch_duration,
+                "remote_messages": result.remote_messages,
+            }
+        )
+        print(
+            f"  {task:>22s} / {system:<10s} "
+            f"{seconds:7.3f}s wall, {steps_per_epoch * epochs / seconds:9.0f} steps/s, "
+            f"sim epoch {result.epoch_duration * 1e3:7.3f} ms"
+        )
+    return results
+
+
+# ------------------------------------------------------------------------ main
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small workloads, fewer repeats, full parity checks",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 2 if args.smoke else 5
+    storage_batch = 256 if args.smoke else 1024
+    kernel_yields = 20_000 if args.smoke else 100_000
+
+    print("parity: batch vs per-key storage ops ...", flush=True)
+    check_storage_parity()
+    print("parity: end-to-end determinism ...", flush=True)
+    check_end_to_end_determinism()
+
+    print("storage microbenchmarks ...", flush=True)
+    storage = bench_storage(storage_batch, 32, repeats)
+    print("server data-path microbenchmarks ...", flush=True)
+    server = bench_server(storage_batch, 32, repeats)
+    print("kernel event throughput ...", flush=True)
+    kernel = bench_kernel(kernel_yields, repeats)
+    print("end-to-end workloads ...", flush=True)
+    end_to_end = bench_end_to_end(args.smoke, repeats=1 if args.smoke else 2)
+
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "parity": "ok",
+        "storage": storage,
+        "server": server,
+        "kernel": kernel,
+        "end_to_end": end_to_end,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    for kind in ("dense", "sparse"):
+        for op in ("get", "add", "set"):
+            entry = storage[kind][op]
+            print(
+                f"  storage/{kind}/{op}: {entry['speedup']:.1f}x "
+                f"({entry['per_key_us']:.0f}us -> {entry['batch_us']:.0f}us)"
+            )
+    for op in ("read", "write"):
+        entry = server[op]
+        print(
+            f"  server/{op}: {entry['speedup']:.1f}x "
+            f"({entry['per_key_us']:.0f}us -> {entry['batch_us']:.0f}us)"
+        )
+    print(f"  kernel: {kernel['events_per_second']:,.0f} events/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,10 +52,51 @@ from repro.ps.messages import (
 )
 from repro.ps.metrics import PSMetrics
 from repro.ps.partition import KeyPartitioner, make_partitioner
+from repro.ps.storage import SMALL_BATCH as _SMALL_BATCH
 from repro.ps.storage import LatchTable, ParameterStorage, make_storage
 from repro.simnet import Network, Node, Simulator
 from repro.simnet.events import Event
 from repro.simnet.node import server_address
+
+
+def select_rows(updates: np.ndarray, rows: List[int]) -> np.ndarray:
+    """Rows of ``updates`` at ``rows`` — a view for one row, a copy otherwise.
+
+    The single-row view avoids an allocation on the dominant one-key ops.
+    Only for immediate read access (e.g. feeding ``add_many``); anything that
+    outlives the call — in particular message payloads — must use
+    :func:`copy_rows`, because the caller may mutate ``updates`` afterwards.
+    """
+    if len(rows) == 1:
+        row = rows[0]
+        return updates[row : row + 1]
+    return updates[rows]
+
+
+def copy_rows(updates: np.ndarray, rows: List[int]) -> np.ndarray:
+    """Rows of ``updates`` at ``rows``, always as an owned copy.
+
+    Used for message payloads: the update values must be snapshotted at send
+    time (as the replaced per-key ``vstack`` did), since the caller is free to
+    reuse its gradient buffer while the message is in flight.
+    """
+    if len(rows) == 1:
+        row = rows[0]
+        return updates[row : row + 1].copy()
+    return updates[rows]
+
+
+def first_missing(state: "NodeState", keys) -> Optional[int]:
+    """First key of ``keys`` not resident in ``state``, or None (error paths only).
+
+    Server handlers probe whole batches with ``read_local_many`` /
+    ``write_local_many`` and only fall back to this per-key scan to name the
+    offending key when the batch access raised.
+    """
+    for key, resident in zip(keys, state.storage.contains_flags(keys)):
+        if not resident:
+            return key
+    return None
 
 
 def van_address(node: int) -> Tuple[str, int]:
@@ -98,6 +139,27 @@ class NodeState:
         """Apply a cumulative update to an owned parameter (acquiring its latch)."""
         self.latches.acquire(key)
         self.storage.add(key, update)
+
+    def read_local_many(self, keys: Sequence[int]) -> np.ndarray:
+        """Read a batch of owned parameters (one latch acquisition per key).
+
+        The storage access runs first so that a non-resident key raises
+        before any latch acquisition is recorded; callers use this to probe
+        the whole batch and fall back to a per-key split only on the rare
+        miss (e.g. a key relocated away mid-access).
+        """
+        values = self.storage.get_many(keys)
+        self.latches.acquire_many(keys)
+        return values
+
+    def write_local_many(self, keys: Sequence[int], updates: np.ndarray) -> None:
+        """Apply one cumulative update row per key (duplicate keys accumulate).
+
+        ``add_many`` is check-then-apply, so a batch with a non-resident key
+        raises before any update or latch accounting happens.
+        """
+        self.storage.add_many(keys, updates)
+        self.latches.acquire_many(keys)
 
     def register_handle(self, handle: OperationHandle) -> None:
         """Track an outstanding operation until its responses arrive."""
@@ -151,15 +213,30 @@ class WorkerClient:
         return self.ps.ps_config.num_keys
 
     def _check_keys(self, keys: Sequence[int]) -> Tuple[int, ...]:
-        checked = []
-        for key in keys:
-            key = int(key)
-            if not 0 <= key < self.ps.ps_config.num_keys:
-                raise UnknownKeyError(key)
-            checked.append(key)
-        if not checked:
+        num_keys = self.ps.ps_config.num_keys
+        if not hasattr(keys, "__len__"):
+            keys = list(keys)  # accept iterators/generators, as before batching
+        if type(keys) is not np.ndarray and len(keys) <= _SMALL_BATCH:
+            checked = []
+            for key in keys:
+                key = int(key)
+                if not 0 <= key < num_keys:
+                    raise UnknownKeyError(key)
+                checked.append(key)
+            if not checked:
+                raise ParameterServerError("operation requires at least one key")
+            return tuple(checked)
+        arr = np.asarray(keys, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ParameterServerError(
+                f"keys must be a one-dimensional sequence, got shape {arr.shape}"
+            )
+        if arr.size == 0:
             raise ParameterServerError("operation requires at least one key")
-        return tuple(checked)
+        out_of_range = (arr < 0) | (arr >= num_keys)
+        if out_of_range.any():
+            raise UnknownKeyError(int(arr[int(np.argmax(out_of_range))]))
+        return tuple(arr.tolist())
 
     def _prepare_updates(self, keys: Tuple[int, ...], updates: Any) -> np.ndarray:
         updates = np.asarray(updates, dtype=np.float64)
@@ -335,7 +412,8 @@ class WorkerClient:
                 size = message_size(len(chunk), 0)
             else:
                 assert updates is not None and key_to_row is not None
-                chunk_updates = np.vstack([updates[key_to_row[key]] for key in chunk])
+                # One sliced copy instead of a per-key vstack.
+                chunk_updates = copy_rows(updates, [key_to_row[key] for key in chunk])
                 request = PushRequest(
                     op_id=op_id,
                     keys=tuple(chunk),
@@ -390,6 +468,10 @@ class ParameterServer:
         """Node that owns ``key`` at start-up (the static partition)."""
         return self.partitioner.node_of(key)
 
+    def _initial_owners(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_initial_owner` (override both together)."""
+        return self.partitioner.nodes_of(keys)
+
     def _initialize_parameters(self, initial_values: Optional[Any]) -> None:
         num_keys = self.ps_config.num_keys
         length = self.ps_config.value_length
@@ -405,9 +487,12 @@ class ParameterServer:
             raise ParameterServerError(
                 f"initial values have shape {values.shape}, expected {(num_keys, length)}"
             )
-        for key in range(num_keys):
-            owner = self._initial_owner(key)
-            self.states[owner].storage.insert(key, values[key])
+        keys = np.arange(num_keys, dtype=np.int64)
+        owners = self._initial_owners(keys)
+        for node in range(self.cluster.num_nodes):
+            node_keys = keys[owners == node]
+            if node_keys.size:
+                self.states[node].storage.insert_many(node_keys, values[node_keys])
 
     def _start_threads(self) -> None:
         # Server thread + van (response demux) on every node, barrier
@@ -481,14 +566,30 @@ class ParameterServer:
         """Node that currently owns ``key`` (static partition unless overridden)."""
         return self.partitioner.node_of(key)
 
+    def current_owners(self, keys: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`current_owner`: one node id per key."""
+        return self.partitioner.nodes_of(keys)
+
     def parameter(self, key: int) -> np.ndarray:
         """Return the authoritative current value of ``key`` (outside simulation)."""
         owner = self.current_owner(key)
         return self.states[owner].storage.get(key)
 
     def all_parameters(self) -> np.ndarray:
-        """Return the full model as an array of shape (num_keys, value_length)."""
-        return np.vstack([self.parameter(key) for key in range(self.ps_config.num_keys)])
+        """Return the full model as an array of shape (num_keys, value_length).
+
+        Keys are gathered into per-owner groups so that every local store is
+        read once with a batched ``get_many`` instead of once per key.
+        """
+        num_keys = self.ps_config.num_keys
+        keys = np.arange(num_keys, dtype=np.int64)
+        owners = self.current_owners(keys)
+        out = np.empty((num_keys, self.ps_config.value_length), dtype=np.float64)
+        for node in range(self.cluster.num_nodes):
+            node_keys = keys[owners == node]
+            if node_keys.size:
+                out[node_keys] = self.states[node].storage.get_many(node_keys)
+        return out
 
     # ----------------------------------------------------------------- metrics
     def metrics(self) -> PSMetrics:

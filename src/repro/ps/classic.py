@@ -23,8 +23,14 @@ from typing import Dict, Generator, List, Tuple
 import numpy as np
 
 from repro.config import message_size
-from repro.errors import ParameterServerError
-from repro.ps.base import NodeState, ParameterServer, WorkerClient
+from repro.errors import ParameterServerError, StorageError
+from repro.ps.base import (
+    NodeState,
+    ParameterServer,
+    WorkerClient,
+    first_missing,
+    select_rows,
+)
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import PullRequest, PullResponse, PushAck, PushRequest
 
@@ -93,8 +99,7 @@ class ClassicWorkerClient(WorkerClient):
         state = self.state
 
         def action() -> None:
-            values = np.vstack([state.read_local(key) for key in local_keys])
-            handle.complete_keys(local_keys, values)
+            handle.complete_keys(local_keys, state.read_local_many(local_keys))
 
         self._complete_after(delay, action)
 
@@ -108,10 +113,10 @@ class ClassicWorkerClient(WorkerClient):
         cost = self.ps.cluster.cost_model
         delay = cost.local_access_time(shared_memory=True) * len(local_keys)
         state = self.state
+        local_rows = [key_to_row[key] for key in local_keys]
 
         def action() -> None:
-            for key in local_keys:
-                state.write_local(key, updates[key_to_row[key]])
+            state.write_local_many(local_keys, select_rows(updates, local_rows))
             handle.complete_keys(local_keys)
 
         self._complete_after(delay, action)
@@ -120,11 +125,12 @@ class ClassicWorkerClient(WorkerClient):
     def _split_by_owner(
         self, keys: Tuple[int, ...]
     ) -> Tuple[List[int], Dict[int, List[int]]]:
+        owners = self.ps.partitioner.nodes_of_list(keys)
+        node_id = self.node_id
         local_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        for key in keys:
-            owner = self.ps.partitioner.node_of(key)
-            if owner == self.node_id:
+        for key, owner in zip(keys, owners):
+            if owner == node_id:
                 local_keys.append(key)
             else:
                 remote_groups[owner].append(key)
@@ -158,29 +164,34 @@ class ClassicPS(ParameterServer):
                 )
 
     def _handle_pull(self, state: NodeState, request: PullRequest) -> None:
-        values = []
-        for key in request.keys:
-            if not state.storage.contains(key):
-                raise ParameterServerError(
-                    f"classic PS node {state.node_id} asked for key {key} it does not own"
-                )
-            values.append(state.read_local(key))
+        try:
+            values = state.read_local_many(request.keys)
+        except StorageError:
+            bad = first_missing(state, request.keys)
+            if bad is None:
+                raise
+            raise ParameterServerError(
+                f"classic PS node {state.node_id} asked for key {bad} it does not own"
+            ) from None
         response = PullResponse(
             op_id=request.op_id,
             keys=request.keys,
-            values=np.vstack(values),
+            values=values,
             responder_node=state.node_id,
         )
         size = message_size(len(request.keys), len(request.keys) * self.ps_config.value_length)
         self.network.send(state.node_id, request.reply_to, response, size)
 
     def _handle_push(self, state: NodeState, request: PushRequest) -> None:
-        for index, key in enumerate(request.keys):
-            if not state.storage.contains(key):
-                raise ParameterServerError(
-                    f"classic PS node {state.node_id} asked to update key {key} it does not own"
-                )
-            state.write_local(key, request.updates[index])
+        try:
+            state.write_local_many(request.keys, request.updates)
+        except StorageError:
+            bad = first_missing(state, request.keys)
+            if bad is None:
+                raise
+            raise ParameterServerError(
+                f"classic PS node {state.node_id} asked to update key {bad} it does not own"
+            ) from None
         if request.needs_ack:
             ack = PushAck(
                 op_id=request.op_id, keys=request.keys, responder_node=state.node_id

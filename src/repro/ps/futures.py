@@ -106,12 +106,15 @@ class OperationHandle:
             raise ParameterServerError("operation has not completed yet")
         if self.op_type != "pull":
             raise ParameterServerError(f"{self.op_type} operations carry no values")
-        rows = []
-        for key in self.keys:
-            if key not in self._values:
+        keys = self.keys
+        recorded = self._values
+        out = np.empty((len(keys), self.value_length), dtype=np.float64)
+        for index, key in enumerate(keys):
+            row = recorded.get(key)
+            if row is None:
                 raise ParameterServerError(f"no value recorded for key {key}")
-            rows.append(self._values[key])
-        return np.vstack(rows) if rows else np.zeros((0, self.value_length))
+            out[index] = row
+        return out
 
     def value(self) -> np.ndarray:
         """Return the value of a single-key pull as a flat vector."""

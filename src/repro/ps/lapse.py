@@ -35,8 +35,15 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 import numpy as np
 
 from repro.config import message_size
-from repro.errors import ParameterServerError, RelocationError
-from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.errors import ParameterServerError, RelocationError, StorageError
+from repro.ps.base import (
+    NodeState,
+    ParameterServer,
+    WorkerClient,
+    copy_rows,
+    select_rows,
+    van_address,
+)
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import (
     LocalizeAck,
@@ -102,8 +109,9 @@ class LapseWorkerClient(WorkerClient):
         local_keys: List[int] = []
         queued_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        for key in keys:
-            if state.storage.contains(key):
+        resident = state.storage.contains_flags(keys)
+        for key, is_local in zip(keys, resident):
+            if is_local:
                 local_keys.append(key)
             elif key in state.relocating_in:
                 queued_keys.append(key)
@@ -140,8 +148,9 @@ class LapseWorkerClient(WorkerClient):
         local_keys: List[int] = []
         queued_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        for key in keys:
-            if state.storage.contains(key):
+        resident = state.storage.contains_flags(keys)
+        for key, is_local in zip(keys, resident):
+            if is_local:
                 local_keys.append(key)
             elif key in state.relocating_in:
                 queued_keys.append(key)
@@ -222,19 +231,20 @@ class LapseWorkerClient(WorkerClient):
         state = self.state
 
         def action() -> None:
-            present, values, missing = [], [], []
-            for key in local_keys:
-                # The key may have been relocated away between issue and the
-                # (tiny) shared-memory access delay; re-route those keys.
-                if state.storage.contains(key):
-                    present.append(key)
-                    values.append(state.read_local(key))
-                else:
-                    missing.append(key)
-            if present:
-                handle.complete_keys(present, np.vstack(values))
-            for key in missing:
-                self._reissue_key(handle, key, pull=True)
+            try:
+                values = state.read_local_many(local_keys)
+            except StorageError:
+                # A key was relocated away between issue and the (tiny)
+                # shared-memory access delay; split and re-route the misses.
+                flags = state.storage.contains_flags(local_keys)
+                present = [key for key, ok in zip(local_keys, flags) if ok]
+                if present:
+                    handle.complete_keys(present, state.read_local_many(present))
+                for key, ok in zip(local_keys, flags):
+                    if not ok:
+                        self._reissue_key(handle, key, pull=True)
+                return
+            handle.complete_keys(local_keys, values)
 
         self._complete_after(delay, action)
 
@@ -249,18 +259,27 @@ class LapseWorkerClient(WorkerClient):
         delay = cost.local_access_time(shared_memory=True) * len(local_keys)
         state = self.state
 
+        local_rows = [key_to_row[key] for key in local_keys]
+
         def action() -> None:
-            done = []
-            for key in local_keys:
-                if state.storage.contains(key):
-                    state.write_local(key, updates[key_to_row[key]])
-                    done.append(key)
-                else:
-                    self._reissue_key(
-                        handle, key, pull=False, update=updates[key_to_row[key]]
-                    )
-            if done:
-                handle.complete_keys(done)
+            try:
+                # add_many is check-then-apply, so a relocated-away key raises
+                # before any update lands and the per-key fallback stays exact.
+                state.write_local_many(local_keys, select_rows(updates, local_rows))
+            except StorageError:
+                done = []
+                for key, ok in zip(local_keys, state.storage.contains_flags(local_keys)):
+                    if ok:
+                        state.write_local(key, updates[key_to_row[key]])
+                        done.append(key)
+                    else:
+                        self._reissue_key(
+                            handle, key, pull=False, update=updates[key_to_row[key]]
+                        )
+                if done:
+                    handle.complete_keys(done)
+                return
+            handle.complete_keys(local_keys)
 
         self._complete_after(delay, action)
 
@@ -331,9 +350,10 @@ class LapsePS(ParameterServer):
         super().__init__(*args, **kwargs)
         # Initialize home-node location tables: at start-up the owner of every
         # key is its home node (the static partition).
-        for key in range(self.ps_config.num_keys):
-            home = self.partitioner.node_of(key)
-            self.states[home].home_location[key] = home
+        for node in range(self.cluster.num_nodes):
+            home_location = self.states[node].home_location  # type: ignore[attr-defined]
+            for key in self.partitioner.keys_of(node):
+                home_location[key] = node
 
     # --------------------------------------------------------------- locations
     def home_node(self, key: int) -> int:
@@ -344,6 +364,20 @@ class LapsePS(ParameterServer):
         """Node that currently owns ``key`` according to its home node."""
         home_state: LapseNodeState = self.states[self.home_node(key)]  # type: ignore[assignment]
         return home_state.home_location[key]
+
+    def current_owners(self, keys) -> np.ndarray:
+        """Vectorized :meth:`current_owner` via the per-home location tables."""
+        keys = np.asarray(keys, dtype=np.int64)
+        homes = self.partitioner.nodes_of(keys)
+        states = self.states
+        return np.fromiter(
+            (
+                states[home].home_location[key]  # type: ignore[attr-defined]
+                for home, key in zip(homes.tolist(), keys.tolist())
+            ),
+            dtype=np.int64,
+            count=keys.size,
+        )
 
     # ------------------------------------------------------------ server loop
     def _server_loop(self, state: LapseNodeState) -> Generator:  # type: ignore[override]
@@ -375,8 +409,9 @@ class LapsePS(ParameterServer):
         owned: List[int] = []
         queued: List[int] = []
         forward_groups: Dict[int, List[int]] = defaultdict(list)
-        for key in request.keys:
-            if state.storage.contains(key):
+        resident = state.storage.contains_flags(request.keys)
+        for key, is_resident in zip(request.keys, resident):
+            if is_resident:
                 owned.append(key)
             elif key in state.relocating_in:
                 queued.append(key)
@@ -403,7 +438,7 @@ class LapsePS(ParameterServer):
     ) -> None:
         key_to_row = {key: index for index, key in enumerate(request.keys)}
         if is_pull:
-            values = np.vstack([state.read_local(key) for key in keys])
+            values = state.read_local_many(keys)
             response = PullResponse(
                 op_id=request.op_id,
                 keys=tuple(keys),
@@ -413,8 +448,9 @@ class LapsePS(ParameterServer):
             size = message_size(len(keys), values.size)
             self.network.send(state.node_id, request.reply_to, response, size)
         else:
-            for key in keys:
-                state.write_local(key, request.updates[key_to_row[key]])
+            state.write_local_many(
+                keys, select_rows(request.updates, [key_to_row[key] for key in keys])
+            )
             if request.needs_ack:
                 ack = PushAck(
                     op_id=request.op_id, keys=tuple(keys), responder_node=state.node_id
@@ -457,7 +493,7 @@ class LapsePS(ParameterServer):
             )
             size = message_size(len(keys), 0)
         else:
-            updates = np.vstack([request.updates[key_to_row[key]] for key in keys])
+            updates = copy_rows(request.updates, [key_to_row[key] for key in keys])
             forwarded = PushRequest(
                 op_id=op_id,
                 keys=tuple(keys),
@@ -545,11 +581,10 @@ class LapsePS(ParameterServer):
     ) -> None:
         """Old-owner half of the protocol (message 2 handling)."""
         transfer_keys: List[int] = []
-        transfer_values: List[np.ndarray] = []
-        for key in instruction.keys:
-            if state.storage.contains(key):
+        resident = state.storage.contains_flags(instruction.keys)
+        for key, is_resident in zip(instruction.keys, resident):
+            if is_resident:
                 transfer_keys.append(key)
-                transfer_values.append(state.storage.remove(key))
                 state.last_transfer[key] = instruction.new_owner
             elif key in state.relocating_in:
                 # The key is still on its way to us; pass it on as soon as it
@@ -562,7 +597,7 @@ class LapsePS(ParameterServer):
                 )
         if not transfer_keys:
             return
-        values = np.vstack(transfer_values)
+        values = state.storage.remove_many(transfer_keys)
         transfer = RelocationTransfer(
             op_id=instruction.op_id,
             keys=tuple(transfer_keys),

@@ -13,17 +13,21 @@ envelopes.  They mirror the message types described in the paper:
 * replica-PS messages: subscription/snapshot installs, conflict-free update
   flushes, and delta broadcasts used by the replication-based variant,
 * barrier coordination messages used between subepochs.
+
+All message classes are slotted dataclasses: messages are the most frequently
+allocated objects on the simulator's hot path, and ``__slots__`` removes the
+per-instance ``__dict__`` allocation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
 
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PullRequest:
     """Request to read the current values of ``keys``.
 
@@ -38,7 +42,7 @@ class PullRequest:
     hops: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PullResponse:
     """Values answering a :class:`PullRequest` (possibly a partial key subset)."""
 
@@ -48,7 +52,7 @@ class PullResponse:
     responder_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushRequest:
     """Cumulative update for ``keys``; ``updates`` has one row per key."""
 
@@ -61,7 +65,7 @@ class PushRequest:
     hops: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushAck:
     """Acknowledgement that a push (sub-)request was applied."""
 
@@ -70,7 +74,7 @@ class PushAck:
     responder_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalizeRequest:
     """Message 1 of the relocation protocol: requester → home node."""
 
@@ -79,7 +83,7 @@ class LocalizeRequest:
     requester_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RelocateInstruction:
     """Message 2 of the relocation protocol: home node → current owner."""
 
@@ -89,7 +93,7 @@ class RelocateInstruction:
     home_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RelocationTransfer:
     """Message 3 of the relocation protocol: old owner → new owner (with values).
 
@@ -105,7 +109,7 @@ class RelocationTransfer:
     removed_at: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalizeAck:
     """Notification that keys were already local to the requester (no move needed)."""
 
@@ -114,7 +118,7 @@ class LocalizeAck:
 
 
 # --------------------------------------------------------------------------- stale PS
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaFetchRequest:
     """Stale PS: fetch fresh replica values for ``keys`` from their owner."""
 
@@ -125,7 +129,7 @@ class ReplicaFetchRequest:
     clock: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaFetchResponse:
     """Stale PS: fresh values with the server clock at which they were read."""
 
@@ -136,7 +140,7 @@ class ReplicaFetchResponse:
     responder_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateFlush:
     """Stale PS: accumulated updates flushed from a node to a key's owner at a clock."""
 
@@ -148,7 +152,7 @@ class UpdateFlush:
     reply_to: Optional[Hashable] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushAck:
     """Stale PS: acknowledgement that an update flush was applied."""
 
@@ -157,7 +161,7 @@ class FlushAck:
     responder_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaPush:
     """Stale PS (SSPPush): owner proactively pushes fresh values to a subscriber."""
 
@@ -168,7 +172,7 @@ class ReplicaPush:
 
 
 # ---------------------------------------------------------------------- replica PS
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaRegisterRequest:
     """Replica PS: subscribe ``requester_node`` to ``keys`` and fetch a snapshot.
 
@@ -183,7 +187,7 @@ class ReplicaRegisterRequest:
     reply_to: Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaInstall:
     """Replica PS: owner → new replica holder, value snapshot at subscribe time."""
 
@@ -192,7 +196,7 @@ class ReplicaInstall:
     responder_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaSyncFlush:
     """Replica PS: accumulated local updates flushed from a replica holder to the owner.
 
@@ -206,7 +210,7 @@ class ReplicaSyncFlush:
     source_node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaDeltaBroadcast:
     """Replica PS: owner → subscriber, aggregate of other nodes' updates.
 
@@ -222,7 +226,7 @@ class ReplicaDeltaBroadcast:
 
 
 # --------------------------------------------------------------------------- barrier
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BarrierArrive:
     """A worker announces it reached barrier ``generation``."""
 
@@ -232,14 +236,14 @@ class BarrierArrive:
     generation: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BarrierRelease:
     """The coordinator releases all workers from barrier ``generation``."""
 
     generation: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerDirectValue:
     """Reply routed to a specific worker rather than the node van (rarely used)."""
 

@@ -24,6 +24,10 @@ import numpy as np
 
 from repro.errors import PartitionError
 
+# Key batches at or below this size resolve owners in pure Python; NumPy's
+# per-call overhead only pays off above it.
+from repro.ps.storage import SMALL_BATCH as _SMALL_BATCH
+
 
 class KeyPartitioner:
     """Maps every key to the node that statically hosts it."""
@@ -40,6 +44,29 @@ class KeyPartitioner:
         """Return the node statically responsible for ``key``."""
         raise NotImplementedError
 
+    def nodes_of(self, keys: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`node_of`: one int64 node id per key.
+
+        The hot data paths of the parameter servers resolve whole key batches
+        through this method; subclasses override it with a NumPy
+        implementation.  The fallback loops over :meth:`node_of`.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        return np.fromiter(
+            (self.node_of(int(key)) for key in keys), dtype=np.int64, count=keys.size
+        )
+
+    def nodes_of_list(self, keys: Sequence[int]) -> List[int]:
+        """:meth:`nodes_of` as a plain Python list.
+
+        Small batches (the common case on the per-operation hot path) stay in
+        pure Python; large batches go through the vectorized :meth:`nodes_of`.
+        """
+        if len(keys) <= _SMALL_BATCH:
+            node_of = self.node_of
+            return [node_of(key) for key in keys]
+        return self.nodes_of(keys).tolist()
+
     def keys_of(self, node: int) -> List[int]:
         """Return all keys statically assigned to ``node``."""
         self._check_node(node)
@@ -48,6 +75,15 @@ class KeyPartitioner:
     def _check_key(self, key: int) -> None:
         if not 0 <= key < self.num_keys:
             raise PartitionError(f"key {key} out of range [0, {self.num_keys})")
+
+    def _check_keys_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized bounds check; raises on the first out-of-range key."""
+        keys = np.asarray(keys, dtype=np.int64)
+        out_of_range = (keys < 0) | (keys >= self.num_keys)
+        if out_of_range.any():
+            bad = int(keys[int(np.argmax(out_of_range))])
+            raise PartitionError(f"key {bad} out of range [0, {self.num_keys})")
+        return keys
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -71,13 +107,24 @@ class RangePartitioner(KeyPartitioner):
             size = base + (1 if node < remainder else 0)
             self._boundaries.append((start, start + size))
             start += size
+        self._starts = np.array([s for s, _ in self._boundaries], dtype=np.int64)
+        # Closed-form lookup constants: the first `remainder` nodes hold
+        # `base + 1` keys, the rest hold `base`.
+        self._base = base
+        self._remainder = remainder
+        self._large_until = (base + 1) * remainder
 
     def node_of(self, key: int) -> int:
         self._check_key(key)
-        for node, (start, end) in enumerate(self._boundaries):
-            if start <= key < end:
-                return node
-        raise PartitionError(f"key {key} not covered by any range")  # pragma: no cover
+        if key < self._large_until:
+            return key // (self._base + 1)
+        return self._remainder + (key - self._large_until) // self._base
+
+    def nodes_of(self, keys: Sequence[int]) -> np.ndarray:
+        keys = self._check_keys_array(keys)
+        # A key belongs to the last node whose range start is <= key; empty
+        # ranges cannot win because their start equals the next node's start.
+        return np.searchsorted(self._starts, keys, side="right").astype(np.int64) - 1
 
     def keys_of(self, node: int) -> List[int]:
         self._check_node(node)
@@ -98,6 +145,11 @@ class HashPartitioner(KeyPartitioner):
     def node_of(self, key: int) -> int:
         self._check_key(key)
         return ((key * self._MULTIPLIER) & 0xFFFFFFFF) % self.num_nodes
+
+    def nodes_of(self, keys: Sequence[int]) -> np.ndarray:
+        keys = self._check_keys_array(keys)
+        hashed = (keys.astype(np.uint64) * np.uint64(self._MULTIPLIER)) & np.uint64(0xFFFFFFFF)
+        return (hashed % np.uint64(self.num_nodes)).astype(np.int64)
 
 
 class ExplicitPartitioner(KeyPartitioner):
@@ -123,6 +175,10 @@ class ExplicitPartitioner(KeyPartitioner):
     def node_of(self, key: int) -> int:
         self._check_key(key)
         return int(self._assignment[key])
+
+    def nodes_of(self, keys: Sequence[int]) -> np.ndarray:
+        keys = self._check_keys_array(keys)
+        return self._assignment[keys]
 
     def keys_of(self, node: int) -> List[int]:
         self._check_node(node)

@@ -45,8 +45,15 @@ from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.config import message_size
-from repro.errors import ParameterServerError
-from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.errors import ParameterServerError, StorageError
+from repro.ps.base import (
+    NodeState,
+    ParameterServer,
+    WorkerClient,
+    first_missing,
+    select_rows,
+    van_address,
+)
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import (
     PullRequest,
@@ -59,6 +66,7 @@ from repro.ps.messages import (
     ReplicaSyncFlush,
 )
 from repro.ps.partition import HotKeyPolicy, make_hot_key_policy
+from repro.ps.storage import gather_rows
 from repro.simnet.events import Event
 
 
@@ -129,8 +137,8 @@ class ReplicaWorkerClient(WorkerClient):
         replica_keys: List[int] = []
         register_groups: Dict[int, List[int]] = defaultdict(list)
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        for key in keys:
-            owner = ps.partitioner.node_of(key)
+        owners = ps.partitioner.nodes_of_list(keys)
+        for key, owner in zip(keys, owners):
             if owner == self.node_id:
                 local_keys.append(key)
             elif key in state.replicas:
@@ -183,8 +191,8 @@ class ReplicaWorkerClient(WorkerClient):
         local_keys: List[int] = []
         replica_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        for key in keys:
-            owner = ps.partitioner.node_of(key)
+        owners = ps.partitioner.nodes_of_list(keys)
+        for key, owner in zip(keys, owners):
             if owner == self.node_id:
                 local_keys.append(key)
             elif key in state.replicas:
@@ -225,14 +233,15 @@ class ReplicaWorkerClient(WorkerClient):
         state = self.state
 
         def action() -> None:
-            values = []
-            for key in keys:
-                if from_replica:
-                    state.latches.acquire(key)
-                    values.append(state.replicas[key].copy())
-                else:
-                    values.append(state.read_local(key))
-            handle.complete_keys(keys, np.vstack(values))
+            if from_replica:
+                state.latches.acquire_many(keys)
+                replicas = state.replicas
+                values = np.empty((len(keys), self.value_length), dtype=np.float64)
+                for index, key in enumerate(keys):
+                    values[index] = replicas[key]
+            else:
+                values = state.read_local_many(keys)
+            handle.complete_keys(keys, values)
 
         self._complete_after(delay, action)
 
@@ -251,11 +260,13 @@ class ReplicaWorkerClient(WorkerClient):
         state = self.state
         ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
 
+        owned_rows = [key_to_row[key] for key in owned_keys]
+
         def action() -> None:
-            for key in owned_keys:
-                update = updates[key_to_row[key]]
-                state.write_local(key, update)
-                ps.enqueue_broadcast(state, key, update)
+            if owned_keys:
+                state.write_local_many(owned_keys, select_rows(updates, owned_rows))
+                for key in owned_keys:
+                    ps.enqueue_broadcast(state, key, updates[key_to_row[key]])
             for key in replica_keys:
                 update = updates[key_to_row[key]]
                 ps.apply_replica_write(state, key, update)
@@ -336,12 +347,14 @@ class ReplicaPS(ParameterServer):
     ) -> None:
         """Apply ``update`` to the local replica and buffer it for the owner."""
         state.latches.acquire(key)
-        state.replicas[key] = state.replicas[key] + update
+        # Replica rows and pending buffers are owned by this node, so both
+        # accumulate in place instead of allocating a new array per write.
+        state.replicas[key] += update
         pending = state.pending_updates.get(key)
         if pending is None:
             state.pending_updates[key] = update.copy()
         else:
-            state.pending_updates[key] = pending + update
+            pending += update
         self._mark_dirty(state)
 
     def enqueue_broadcast(
@@ -360,7 +373,7 @@ class ReplicaPS(ParameterServer):
             if delta is None:
                 per_key[key] = update.copy()
             else:
-                per_key[key] = delta + update
+                delta += update
         self._mark_dirty(state)
 
     # ------------------------------------------------------- synchronization
@@ -399,12 +412,14 @@ class ReplicaPS(ParameterServer):
         metrics.replica_sync_rounds += 1
         if state.pending_updates:
             groups: Dict[int, Dict[int, np.ndarray]] = defaultdict(dict)
-            for key, update in state.pending_updates.items():
-                groups[self.partitioner.node_of(key)][key] = update
+            pending_keys = list(state.pending_updates.keys())
+            owners = self.partitioner.nodes_of_list(pending_keys)
+            for key, owner in zip(pending_keys, owners):
+                groups[owner][key] = state.pending_updates[key]
             state.pending_updates = {}
             for owner, per_key in groups.items():
                 keys = tuple(sorted(per_key))
-                updates = np.vstack([per_key[key] for key in keys])
+                updates = gather_rows(per_key, keys, self.ps_config.value_length)
                 size = message_size(len(keys), updates.size)
                 metrics.replica_flush_messages += 1
                 metrics.replica_sync_keys += len(keys)
@@ -422,7 +437,7 @@ class ReplicaPS(ParameterServer):
                 if not per_key:
                     continue
                 keys = tuple(sorted(per_key))
-                deltas = np.vstack([per_key[key] for key in keys])
+                deltas = gather_rows(per_key, keys, self.ps_config.value_length)
                 size = message_size(len(keys), deltas.size)
                 metrics.replica_broadcast_messages += 1
                 metrics.replica_sync_keys += len(keys)
@@ -466,15 +481,26 @@ class ReplicaPS(ParameterServer):
                 "it does not own"
             )
 
+    def _not_owned_error(
+        self, state: ReplicaNodeState, bad: int, what: str
+    ) -> ParameterServerError:
+        return ParameterServerError(
+            f"replica PS node {state.node_id} received a {what} for key {bad} "
+            "it does not own"
+        )
+
     def _handle_pull(self, state: ReplicaNodeState, request: PullRequest) -> None:
-        values = []
-        for key in request.keys:
-            self._check_owned(state, key, "pull")
-            values.append(state.read_local(key))
+        try:
+            values = state.read_local_many(request.keys)
+        except StorageError:
+            bad = first_missing(state, request.keys)
+            if bad is None:
+                raise
+            raise self._not_owned_error(state, bad, "pull") from None
         response = PullResponse(
             op_id=request.op_id,
             keys=request.keys,
-            values=np.vstack(values),
+            values=values,
             responder_node=state.node_id,
         )
         size = message_size(
@@ -483,14 +509,18 @@ class ReplicaPS(ParameterServer):
         self.network.send(state.node_id, request.reply_to, response, size)
 
     def _handle_push(self, state: ReplicaNodeState, request: PushRequest) -> None:
+        try:
+            state.write_local_many(request.keys, request.updates)
+        except StorageError:
+            bad = first_missing(state, request.keys)
+            if bad is None:
+                raise
+            raise self._not_owned_error(state, bad, "push") from None
         for index, key in enumerate(request.keys):
-            self._check_owned(state, key, "push")
-            update = request.updates[index]
-            state.write_local(key, update)
             # The requester had no replica when it issued this push, so it is
             # NOT excluded: if it subscribed while the push was in flight, its
             # snapshot predates the push and the delta must reach it.
-            self.enqueue_broadcast(state, key, update)
+            self.enqueue_broadcast(state, key, request.updates[index])
         if request.needs_ack:
             ack = PushAck(
                 op_id=request.op_id, keys=request.keys, responder_node=state.node_id
@@ -502,14 +532,18 @@ class ReplicaPS(ParameterServer):
     def _handle_register(
         self, state: ReplicaNodeState, request: ReplicaRegisterRequest
     ) -> None:
-        values = []
+        try:
+            values = state.read_local_many(request.keys)
+        except StorageError:
+            bad = first_missing(state, request.keys)
+            if bad is None:
+                raise
+            raise self._not_owned_error(state, bad, "replica subscription") from None
         for key in request.keys:
-            self._check_owned(state, key, "replica subscription")
             state.subscribers[key].add(request.requester_node)
-            values.append(state.read_local(key))
         install = ReplicaInstall(
             keys=request.keys,
-            values=np.vstack(values),
+            values=values,
             responder_node=state.node_id,
         )
         size = message_size(
@@ -518,12 +552,18 @@ class ReplicaPS(ParameterServer):
         self.network.send(state.node_id, request.reply_to, install, size)
 
     def _handle_flush(self, state: ReplicaNodeState, flush: ReplicaSyncFlush) -> None:
+        try:
+            state.write_local_many(flush.keys, flush.updates)
+        except StorageError:
+            bad = first_missing(state, flush.keys)
+            if bad is None:
+                raise
+            raise self._not_owned_error(state, bad, "replica update flush") from None
         for index, key in enumerate(flush.keys):
-            self._check_owned(state, key, "replica update flush")
-            update = flush.updates[index]
-            state.write_local(key, update)
             # The source applied these updates to its own replica already.
-            self.enqueue_broadcast(state, key, update, exclude=flush.source_node)
+            self.enqueue_broadcast(
+                state, key, flush.updates[index], exclude=flush.source_node
+            )
         if self.ps_config.replica_sync_trigger == "clock":
             # Clock mode has no timer to drain the owner-side buffers, and the
             # owner's own workers may be past their last clock when this flush
@@ -536,7 +576,7 @@ class ReplicaPS(ParameterServer):
         for index, key in enumerate(broadcast.keys):
             if key in state.replicas:
                 state.latches.acquire(key)
-                state.replicas[key] = state.replicas[key] + broadcast.deltas[index]
+                state.replicas[key] += broadcast.deltas[index]
             elif key in state.installing:
                 # The owner subscribed us and then broadcast before our install
                 # arrived; apply the delta once the snapshot is in place.
@@ -555,6 +595,8 @@ class ReplicaPS(ParameterServer):
         if not isinstance(message, ReplicaInstall):
             super()._handle_extra_van_message(state, message)
             return
+        # One bulk copy; each installed replica row is a node-owned view.
+        values = np.array(message.values, dtype=np.float64)
         for index, key in enumerate(message.keys):
             entry = state.installing.pop(key, None)
             if entry is None:
@@ -562,10 +604,10 @@ class ReplicaPS(ParameterServer):
                     f"replica PS node {state.node_id} received an install for key "
                     f"{key} it did not request"
                 )
-            state.replicas[key] = message.values[index].copy()
+            state.replicas[key] = values[index]
             state.metrics.replica_creates += 1
             for delta in entry.pending_deltas:
-                state.replicas[key] = state.replicas[key] + delta
+                state.replicas[key] += delta
             for kind, handle, update in entry.ops:
                 if kind == "pull":
                     state.latches.acquire(key)

@@ -32,13 +32,20 @@ clocks old and writes of other workers become visible only after a flush.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.config import message_size
-from repro.errors import ParameterServerError
-from repro.ps.base import NodeState, ParameterServer, WorkerClient, van_address
+from repro.errors import ParameterServerError, StorageError
+from repro.ps.base import (
+    NodeState,
+    ParameterServer,
+    WorkerClient,
+    first_missing,
+    select_rows,
+    van_address,
+)
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import (
     FlushAck,
@@ -47,7 +54,18 @@ from repro.ps.messages import (
     ReplicaPush,
     UpdateFlush,
 )
+from repro.ps.storage import gather_rows
 from repro.simnet.events import Event
+
+
+def _gather_replicas(
+    replicas: Dict[int, List[Any]], keys: Sequence[int], value_length: int
+) -> np.ndarray:
+    """Copy replica values for ``keys`` into one (n, d) array in a single walk."""
+    out = np.empty((len(keys), value_length), dtype=np.float64)
+    for index, key in enumerate(keys):
+        out[index] = replicas[key][0]
+    return out
 
 
 class StaleNodeState(NodeState):
@@ -86,11 +104,12 @@ class StaleWorkerClient(WorkerClient):
         local_keys: List[int] = []
         replica_keys: List[int] = []
         fetch_groups: Dict[int, List[int]] = defaultdict(list)
-        for key in keys:
-            owner = self.ps.partitioner.node_of(key)
+        owners = self.ps.partitioner.nodes_of_list(keys)
+        fresh_after = self._clock - staleness
+        for key, owner in zip(keys, owners):
             if owner == self.node_id:
                 local_keys.append(key)
-            elif key in state.replicas and state.replicas[key][1] >= self._clock - staleness:
+            elif key in state.replicas and state.replicas[key][1] >= fresh_after:
                 replica_keys.append(key)
             else:
                 fetch_groups[owner].append(key)
@@ -100,7 +119,7 @@ class StaleWorkerClient(WorkerClient):
             self._complete_after(
                 delay,
                 lambda keys=tuple(local_keys): handle.complete_keys(
-                    keys, np.vstack([state.read_local(k) for k in keys])
+                    keys, state.read_local_many(keys)
                 ),
             )
         if replica_keys:
@@ -110,7 +129,7 @@ class StaleWorkerClient(WorkerClient):
             self._complete_after(
                 delay,
                 lambda keys=tuple(replica_keys): handle.complete_keys(
-                    keys, np.vstack([state.replicas[k][0].copy() for k in keys])
+                    keys, _gather_replicas(state.replicas, keys, self.value_length)
                 ),
             )
         for owner, owner_keys in fetch_groups.items():
@@ -151,24 +170,32 @@ class StaleWorkerClient(WorkerClient):
         metrics = state.metrics
         cost = self.ps.cluster.cost_model
         delay = cost.interthread_access_latency * len(keys)
+        owner_list = self.ps.partitioner.nodes_of_list(keys)
+        local_keys = [
+            key for key, owner in zip(keys, owner_list) if owner == self.node_id
+        ]
+        local_rows = [
+            index for index, owner in enumerate(owner_list) if owner == self.node_id
+        ]
 
         def action() -> None:
-            for index, key in enumerate(keys):
-                owner = self.ps.partitioner.node_of(key)
-                update = updates[index]
+            if local_keys:
+                state.write_local_many(local_keys, select_rows(updates, local_rows))
+            for index, (key, owner) in enumerate(zip(keys, owner_list)):
                 if owner == self.node_id:
-                    state.write_local(key, update)
                     metrics.key_writes_local += 1
+                    continue
+                update = updates[index]
+                buffered = self._write_buffer.get(key)
+                if buffered is None:
+                    self._write_buffer[key] = update.copy()
                 else:
-                    buffered = self._write_buffer.get(key)
-                    if buffered is None:
-                        self._write_buffer[key] = update.copy()
-                    else:
-                        self._write_buffer[key] = buffered + update
-                    # Make own writes visible locally within the staleness window.
-                    if key in state.replicas:
-                        state.replicas[key][0] = state.replicas[key][0] + update
-                    metrics.key_writes_local += 1
+                    buffered += update
+                # Make own writes visible locally within the staleness window.
+                replica = state.replicas.get(key)
+                if replica is not None:
+                    replica[0] += update
+                metrics.key_writes_local += 1
             handle.complete_keys(keys)
 
         metrics.pushes_local += 1
@@ -187,9 +214,11 @@ class StaleWorkerClient(WorkerClient):
         self._clock += 1
         self.state.metrics.clock_advances += 1
         groups: Dict[int, Dict[int, np.ndarray]] = defaultdict(dict)
-        for key, update in self._write_buffer.items():
-            owner = self.ps.partitioner.node_of(key)
-            groups[owner][key] = update
+        if self._write_buffer:
+            buffer_keys = list(self._write_buffer.keys())
+            owners = self.ps.partitioner.nodes_of_list(buffer_keys)
+            for key, owner in zip(buffer_keys, owners):
+                groups[owner][key] = self._write_buffer[key]
         self._write_buffer = {}
         ack_events: List[Event] = []
         for node in range(self.ps.cluster.num_nodes):
@@ -198,7 +227,7 @@ class StaleWorkerClient(WorkerClient):
             node_updates = groups.get(node, {})
             keys = tuple(sorted(node_updates.keys()))
             if keys:
-                updates = np.vstack([node_updates[key] for key in keys])
+                updates = gather_rows(node_updates, keys, self.value_length)
             else:
                 updates = np.zeros((0, self.value_length))
             op_id = self.ps.next_op_id()
@@ -257,19 +286,22 @@ class StalePS(ParameterServer):
                 )
 
     def _handle_fetch(self, state: StaleNodeState, request: ReplicaFetchRequest) -> None:
-        values = []
-        for key in request.keys:
-            if not state.storage.contains(key):
-                raise ParameterServerError(
-                    f"stale PS node {state.node_id} asked for key {key} it does not own"
-                )
-            values.append(state.read_local(key))
-            if self.server_push:
+        try:
+            values = state.read_local_many(request.keys)
+        except StorageError:
+            bad = first_missing(state, request.keys)
+            if bad is None:
+                raise
+            raise ParameterServerError(
+                f"stale PS node {state.node_id} asked for key {bad} it does not own"
+            ) from None
+        if self.server_push:
+            for key in request.keys:
                 state.subscriptions[key].add(request.requester_node)
         response = ReplicaFetchResponse(
             op_id=request.op_id,
             keys=request.keys,
-            values=np.vstack(values),
+            values=values,
             clock=request.clock,
             responder_node=state.node_id,
         )
@@ -277,13 +309,17 @@ class StalePS(ParameterServer):
         self.network.send(state.node_id, request.reply_to, response, size)
 
     def _handle_flush(self, state: StaleNodeState, flush: UpdateFlush) -> None:
-        for index, key in enumerate(flush.keys):
-            if not state.storage.contains(key):
+        if flush.keys:
+            try:
+                state.write_local_many(flush.keys, flush.updates)
+            except StorageError:
+                bad = first_missing(state, flush.keys)
+                if bad is None:
+                    raise
                 raise ParameterServerError(
-                    f"stale PS node {state.node_id} received an update for key {key} "
+                    f"stale PS node {state.node_id} received an update for key {bad} "
                     "it does not own"
-                )
-            state.write_local(key, flush.updates[index])
+                ) from None
         if flush.reply_to is not None:
             ack = FlushAck(
                 op_id=flush.op_id, clock=flush.clock, responder_node=state.node_id
@@ -309,7 +345,7 @@ class StalePS(ParameterServer):
                     per_subscriber[node].append(key)
         for node, keys in per_subscriber.items():
             keys = sorted(keys)
-            values = np.vstack([state.read_local(key) for key in keys])
+            values = state.read_local_many(keys)
             push = ReplicaPush(
                 keys=tuple(keys),
                 values=values,
@@ -321,8 +357,10 @@ class StalePS(ParameterServer):
             )
 
     def _handle_replica_push(self, state: StaleNodeState, push: ReplicaPush) -> None:
+        # One bulk copy; each replica row is a view into the node-owned buffer.
+        values = np.array(push.values, dtype=np.float64)
         for index, key in enumerate(push.keys):
-            state.replicas[key] = [push.values[index].copy(), push.clock]
+            state.replicas[key] = [values[index], push.clock]
         state.metrics.replica_refreshes += len(push.keys)
 
     # -------------------------------------------------------------------- van
@@ -332,8 +370,9 @@ class StalePS(ParameterServer):
             if entry is None:
                 return
             handle, keys = entry
+            values = np.array(message.values, dtype=np.float64)
             for index, key in enumerate(message.keys):
-                state.replicas[key] = [message.values[index].copy(), message.clock]
+                state.replicas[key] = [values[index], message.clock]
             handle.complete_keys(message.keys, message.values)
         elif isinstance(message, FlushAck):
             event = state.pending_flush_acks.pop(message.op_id, None)

@@ -13,15 +13,58 @@ As in Lapse (§3.7), two variants are provided:
 Both guarantee per-key atomic reads and cumulative writes; a
 :class:`LatchTable` models the fixed pool of latches (default 1000) that Lapse
 uses to synchronize local access without a global lock.
+
+Besides the single-key primitives, every store exposes a **batch API**
+(``get_many`` / ``add_many`` / ``set_many`` / ``insert_many`` /
+``remove_many`` / ``contains_many``) operating on whole key sequences at
+once.  On success, batch operations produce exactly the state a sequence of
+single-key ops in batch order would — duplicates in an ``add_many`` batch
+accumulate, and errors name the first offending key — but run vectorized:
+fancy indexing and ``np.add.at`` on :class:`DenseStorage`, a single dict walk
+per batch on :class:`SparseStorage`.  On *error*, every batch mutator is
+check-then-apply: an invalid batch raises before any key is touched, so the
+parameter servers can probe a whole batch and fall back to a per-key split
+without double-applying updates.  The parameter servers' hot data paths use
+only the batch API.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import StorageError
+
+#: Batches at or below this size take a pure-Python fast path: for a handful
+#: of keys, NumPy's fixed per-call overhead (array coercion, ufunc dispatch,
+#: reductions) exceeds the cost of a plain loop.  Vectorization pays off only
+#: above this threshold.
+SMALL_BATCH = 16
+
+
+def gather_rows(
+    per_key: Dict[int, np.ndarray], keys: Sequence[int], value_length: int
+) -> np.ndarray:
+    """Copy per-key rows into one (n, d) array in a single dict walk.
+
+    Shared by the PS variants' flush/broadcast assembly, replacing per-key
+    ``vstack`` gathers.
+    """
+    out = np.empty((len(keys), value_length), dtype=np.float64)
+    for index, key in enumerate(keys):
+        out[index] = per_key[key]
+    return out
+
+
+def _first_duplicate(keys: np.ndarray) -> int:
+    """Return the first key that repeats in ``keys`` (error paths only)."""
+    seen = set()
+    for key in keys.tolist():
+        if key in seen:
+            return key
+        seen.add(key)
+    raise AssertionError("no duplicate in keys")  # pragma: no cover
 
 
 class LatchTable:
@@ -32,6 +75,8 @@ class LatchTable:
     the key→latch mapping so tests can verify that distinct keys may share a
     latch while one key always maps to the same latch.
     """
+
+    __slots__ = ("num_latches", "acquisitions")
 
     def __init__(self, num_latches: int = 1000) -> None:
         if num_latches < 1:
@@ -48,6 +93,21 @@ class LatchTable:
         self.acquisitions += 1
         return self.latch_for(key)
 
+    def acquire_many(self, keys: Sequence[int]) -> Sequence[int]:
+        """Record one latch acquisition per key in a single accounting step.
+
+        Equivalent to calling :meth:`acquire` for every key (every key of a
+        batch still pays for its latch) but batched.  Returns the latch index
+        of every key (a list for small batches, an array for large ones).
+        """
+        self.acquisitions += len(keys)
+        num_latches = self.num_latches
+        if type(keys) is np.ndarray:
+            return keys % num_latches
+        if len(keys) <= SMALL_BATCH:
+            return [key % num_latches for key in keys]
+        return np.asarray(keys, dtype=np.int64) % num_latches
+
 
 class ParameterStorage:
     """Interface shared by dense and sparse local parameter stores.
@@ -56,6 +116,12 @@ class ParameterStorage:
     copy (parameters are copied out of and back into the store, as the paper
     notes for PS architectures in §4.4); ``add`` applies a cumulative update
     in place.
+
+    The ``*_many`` batch operations behave exactly like the corresponding
+    single-key operation applied per key in batch order.  The base class
+    provides per-key fallbacks so that custom stores only need the single-key
+    primitives; :class:`DenseStorage` and :class:`SparseStorage` override them
+    with vectorized implementations.
     """
 
     value_length: int
@@ -87,6 +153,97 @@ class ParameterStorage:
     def __contains__(self, key: int) -> bool:
         return self.contains(key)
 
+    # ------------------------------------------------------------- batch API
+    def contains_many(self, keys: Sequence[int]) -> np.ndarray:
+        """Return a boolean array: whether each key is resident."""
+        return np.fromiter(
+            (self.contains(int(key)) for key in keys), dtype=bool, count=len(keys)
+        )
+
+    def contains_flags(self, keys: Sequence[int]) -> list:
+        """Like :meth:`contains_many` but as a plain Python list of bools.
+
+        Small batches avoid the array round-trip entirely; large batches
+        delegate to the vectorized :meth:`contains_many`.
+        """
+        if type(keys) is not np.ndarray and len(keys) <= SMALL_BATCH:
+            contains = self.contains
+            return [contains(key) for key in keys]
+        return self.contains_many(keys).tolist()
+
+    def get_many(self, keys: Sequence[int]) -> np.ndarray:
+        """Return the values of ``keys`` as an array with one row per key."""
+        keys = self._check_batch_keys(keys)
+        out = np.empty((keys.size, self.value_length), dtype=np.float64)
+        for index, key in enumerate(keys.tolist()):
+            out[index] = self.get(key)
+        return out
+
+    def add_many(self, keys: Sequence[int], updates: np.ndarray) -> None:
+        """Apply one cumulative update row per key; duplicate keys accumulate.
+
+        Check-then-apply: a batch with a non-resident key raises before any
+        update lands (callers probe whole batches and rely on falling back to
+        a per-key split without double-applying updates).
+        """
+        keys = self._check_batch_keys(keys)
+        updates = self._check_batch_values(keys.size, updates)
+        key_list = keys.tolist()
+        for key in key_list:
+            if not self.contains(key):
+                raise StorageError(f"key {key} is not resident in this store")
+        for index, key in enumerate(key_list):
+            self.add(key, updates[index])
+
+    def set_many(self, keys: Sequence[int], values: np.ndarray) -> None:
+        """Overwrite one value row per key (the last row wins for duplicates).
+
+        Check-then-apply, like :meth:`add_many`.
+        """
+        keys = self._check_batch_keys(keys)
+        values = self._check_batch_values(keys.size, values)
+        key_list = keys.tolist()
+        for key in key_list:
+            if not self.contains(key):
+                raise StorageError(f"key {key} is not resident in this store")
+        for index, key in enumerate(key_list):
+            self.set(key, values[index])
+
+    def insert_many(self, keys: Sequence[int], values: np.ndarray) -> None:
+        """Insert one value row per (previously non-resident, distinct) key.
+
+        Check-then-apply, like :meth:`add_many`.
+        """
+        keys = self._check_batch_keys(keys)
+        values = self._check_batch_values(keys.size, values)
+        key_list = keys.tolist()
+        seen = set()
+        for key in key_list:
+            if self.contains(key) or key in seen:
+                raise StorageError(f"key {key} is already resident; cannot insert twice")
+            seen.add(key)
+        for index, key in enumerate(key_list):
+            self.insert(key, values[index])
+
+    def remove_many(self, keys: Sequence[int]) -> np.ndarray:
+        """Remove ``keys``, returning their former values one row per key.
+
+        Check-then-apply: a batch with a non-resident (or duplicated) key
+        raises before any key is removed.
+        """
+        keys = self._check_batch_keys(keys)
+        key_list = keys.tolist()
+        seen = set()
+        for key in key_list:
+            if not self.contains(key) or key in seen:
+                raise StorageError(f"key {key} is not resident in this store")
+            seen.add(key)
+        out = np.empty((keys.size, self.value_length), dtype=np.float64)
+        for index, key in enumerate(key_list):
+            out[index] = self.remove(key)
+        return out
+
+    # --------------------------------------------------------------- checking
     def _check_value(self, key: int, value: np.ndarray) -> np.ndarray:
         value = np.asarray(value, dtype=np.float64)
         if value.shape != (self.value_length,):
@@ -95,6 +252,25 @@ class ParameterStorage:
                 f"expected ({self.value_length},)"
             )
         return value
+
+    def _check_batch_keys(self, keys: Sequence[int]) -> np.ndarray:
+        """Coerce a key batch to an int64 array (no residency/range checks)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise StorageError(f"key batch must be one-dimensional, got shape {keys.shape}")
+        return keys
+
+    def _check_batch_values(self, num_keys: int, values: np.ndarray) -> np.ndarray:
+        """Coerce a value batch to a float64 array of shape (num_keys, d)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 1 and num_keys == 1:
+            values = values.reshape(1, -1)
+        if values.shape != (num_keys, self.value_length):
+            raise StorageError(
+                f"value batch has shape {values.shape}, "
+                f"expected ({num_keys}, {self.value_length})"
+            )
+        return values
 
 
 class DenseStorage(ParameterStorage):
@@ -119,13 +295,29 @@ class DenseStorage(ParameterStorage):
         self._values = np.zeros((num_keys, value_length), dtype=np.float64)
         self._present = np.zeros(num_keys, dtype=bool)
         if initial_keys is not None:
-            for key in initial_keys:
-                self._check_key(key)
-                self._present[key] = True
+            keys = self._check_key_range(list(initial_keys))
+            self._present[keys] = True
 
     def _check_key(self, key: int) -> None:
         if not 0 <= key < self.num_keys:
             raise StorageError(f"key {key} out of range [0, {self.num_keys})")
+
+    def _check_key_range(self, keys: Sequence[int]) -> np.ndarray:
+        """Vectorized bounds check; raises on the first out-of-range key."""
+        keys = self._check_batch_keys(keys)
+        out_of_range = (keys < 0) | (keys >= self.num_keys)
+        if out_of_range.any():
+            bad = int(keys[int(np.argmax(out_of_range))])
+            raise StorageError(f"key {bad} out of range [0, {self.num_keys})")
+        return keys
+
+    def _check_resident(self, keys: Sequence[int]) -> np.ndarray:
+        keys = self._check_key_range(keys)
+        resident = self._present[keys]
+        if not resident.all():
+            bad = int(keys[int(np.argmin(resident))])
+            raise StorageError(f"key {bad} is not resident in this store")
+        return keys
 
     def contains(self, key: int) -> bool:
         self._check_key(key)
@@ -166,9 +358,149 @@ class DenseStorage(ParameterStorage):
     def __len__(self) -> int:
         return int(self._present.sum())
 
+    # ------------------------------------------------------------- batch API
+    def _is_small(self, keys: Sequence[int]) -> bool:
+        return type(keys) is not np.ndarray and len(keys) <= SMALL_BATCH
+
+    def _check_resident_scalar(self, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise StorageError(f"key {key} out of range [0, {self.num_keys})")
+        if not self._present[key]:
+            raise StorageError(f"key {key} is not resident in this store")
+
+    def contains_many(self, keys: Sequence[int]) -> np.ndarray:
+        if self._is_small(keys):
+            num_keys = self.num_keys
+            present = self._present
+            out = np.empty(len(keys), dtype=bool)
+            for index, key in enumerate(keys):
+                if not 0 <= key < num_keys:
+                    raise StorageError(f"key {key} out of range [0, {num_keys})")
+                out[index] = present[key]
+            return out
+        keys = self._check_key_range(keys)
+        return self._present[keys]
+
+    def contains_flags(self, keys: Sequence[int]) -> list:
+        if self._is_small(keys):
+            num_keys = self.num_keys
+            present = self._present
+            flags = []
+            for key in keys:
+                if not 0 <= key < num_keys:
+                    raise StorageError(f"key {key} out of range [0, {num_keys})")
+                flags.append(bool(present[key]))
+            return flags
+        return self.contains_many(keys).tolist()
+
+    def get_many(self, keys: Sequence[int]) -> np.ndarray:
+        if self._is_small(keys):
+            values = self._values
+            out = np.empty((len(keys), self.value_length), dtype=np.float64)
+            for index, key in enumerate(keys):
+                self._check_resident_scalar(key)
+                out[index] = values[key]
+            return out
+        keys = self._check_resident(keys)
+        # Fancy indexing copies, preserving the copy-out contract of ``get``.
+        return self._values[keys]
+
+    def add_many(self, keys: Sequence[int], updates: np.ndarray) -> None:
+        if self._is_small(keys):
+            updates = self._check_batch_values(len(keys), updates)
+            values = self._values
+            # Validate before mutating so a failed batch leaves no partial
+            # update behind (callers rely on add_many being check-then-apply).
+            for key in keys:
+                self._check_resident_scalar(key)
+            for index, key in enumerate(keys):
+                values[key] += updates[index]
+            return
+        keys = self._check_resident(keys)
+        updates = self._check_batch_values(keys.size, updates)
+        if keys.size == np.unique(keys).size:
+            # Duplicate-free batch: fancy += is several times faster than the
+            # unbuffered np.add.at and numerically identical here.
+            self._values[keys] += updates
+        else:
+            # Unbuffered accumulation: duplicate keys in one batch add up
+            # exactly as a sequence of single-key ``add`` calls would.
+            np.add.at(self._values, keys, updates)
+
+    def set_many(self, keys: Sequence[int], values: np.ndarray) -> None:
+        if self._is_small(keys):
+            values = self._check_batch_values(len(keys), values)
+            store = self._values
+            for key in keys:
+                self._check_resident_scalar(key)
+            for index, key in enumerate(keys):
+                store[key] = values[index]
+            return
+        keys = self._check_resident(keys)
+        values = self._check_batch_values(keys.size, values)
+        self._values[keys] = values
+
+    def insert_many(self, keys: Sequence[int], values: np.ndarray) -> None:
+        if self._is_small(keys):
+            values = self._check_batch_values(len(keys), values)
+            seen = set()
+            for key in keys:
+                self._check_key(key)
+                if self._present[key] or key in seen:
+                    raise StorageError(
+                        f"key {key} is already resident; cannot insert twice"
+                    )
+                seen.add(key)
+            for index, key in enumerate(keys):
+                self._present[key] = True
+                self._values[key] = values[index]
+            return
+        keys = self._check_key_range(keys)
+        values = self._check_batch_values(keys.size, values)
+        if np.unique(keys).size != keys.size:
+            bad = _first_duplicate(keys)
+            raise StorageError(f"key {bad} is already resident; cannot insert twice")
+        resident = self._present[keys]
+        if resident.any():
+            bad = int(keys[int(np.argmax(resident))])
+            raise StorageError(f"key {bad} is already resident; cannot insert twice")
+        self._present[keys] = True
+        self._values[keys] = values
+
+    def remove_many(self, keys: Sequence[int]) -> np.ndarray:
+        if self._is_small(keys):
+            values = self._values
+            seen = set()
+            for key in keys:
+                self._check_resident_scalar(key)
+                if key in seen:
+                    raise StorageError(f"key {key} is not resident in this store")
+                seen.add(key)
+            out = np.empty((len(keys), self.value_length), dtype=np.float64)
+            for index, key in enumerate(keys):
+                out[index] = values[key]
+                self._present[key] = False
+                values[key] = 0.0
+            return out
+        keys = self._check_resident(keys)
+        if np.unique(keys).size != keys.size:
+            # A duplicate would be removed twice; per-key semantics make the
+            # second removal fail because the key is no longer resident.
+            bad = _first_duplicate(keys)
+            raise StorageError(f"key {bad} is not resident in this store")
+        values = self._values[keys]
+        self._present[keys] = False
+        self._values[keys] = 0.0
+        return values
+
 
 class SparseStorage(ParameterStorage):
-    """Dict-backed store holding an arbitrary subset of the key space."""
+    """Dict-backed store holding an arbitrary subset of the key space.
+
+    Stored rows are owned by the store (values are copied in on ``insert`` /
+    ``set`` and copied out on ``get``), which lets ``add`` update rows in
+    place instead of allocating a new array per update.
+    """
 
     def __init__(
         self,
@@ -192,6 +524,15 @@ class SparseStorage(ParameterStorage):
         if not 0 <= key < self.num_keys:
             raise StorageError(f"key {key} out of range [0, {self.num_keys})")
 
+    def _own_value(self, key: int, value: np.ndarray) -> np.ndarray:
+        """Validate ``value`` and return a row owned by this store."""
+        checked = self._check_value(key, value)
+        if checked is value or checked.base is not None:
+            # ``asarray`` did not copy (or produced a view): take ownership so
+            # in-place ``add`` never mutates a caller's array.
+            checked = checked.copy()
+        return checked
+
     def contains(self, key: int) -> bool:
         self._check_key(key)
         return key in self._values
@@ -204,18 +545,20 @@ class SparseStorage(ParameterStorage):
     def set(self, key: int, value: np.ndarray) -> None:
         if not self.contains(key):
             raise StorageError(f"key {key} is not resident in this store")
-        self._values[key] = self._check_value(key, value)
+        self._values[key] = self._own_value(key, value)
 
     def add(self, key: int, update: np.ndarray) -> None:
         if not self.contains(key):
             raise StorageError(f"key {key} is not resident in this store")
-        self._values[key] = self._values[key] + self._check_value(key, update)
+        # In-place accumulation: the stored row is owned by the store, so no
+        # new array is allocated per update.
+        self._values[key] += self._check_value(key, update)
 
     def insert(self, key: int, value: np.ndarray) -> None:
         self._check_key(key)
         if key in self._values:
             raise StorageError(f"key {key} is already resident; cannot insert twice")
-        self._values[key] = self._check_value(key, value)
+        self._values[key] = self._own_value(key, value)
 
     def remove(self, key: int) -> np.ndarray:
         value = self.get(key)
@@ -227,6 +570,102 @@ class SparseStorage(ParameterStorage):
 
     def __len__(self) -> int:
         return len(self._values)
+
+    # ------------------------------------------------------------- batch API
+    @staticmethod
+    def _key_list(keys: Sequence[int]) -> Sequence[int]:
+        """Normalize a key batch to something cheaply iterable as Python ints."""
+        if type(keys) is np.ndarray:
+            return keys.tolist()
+        return keys
+
+    def contains_many(self, keys: Sequence[int]) -> np.ndarray:
+        key_list = self._key_list(keys)
+        values = self._values
+        num_keys = self.num_keys
+        out = np.empty(len(key_list), dtype=bool)
+        for index, key in enumerate(key_list):
+            if not 0 <= key < num_keys:
+                raise StorageError(f"key {key} out of range [0, {num_keys})")
+            out[index] = key in values
+        return out
+
+    def contains_flags(self, keys: Sequence[int]) -> list:
+        key_list = self._key_list(keys)
+        values = self._values
+        num_keys = self.num_keys
+        flags = []
+        for key in key_list:
+            if not 0 <= key < num_keys:
+                raise StorageError(f"key {key} out of range [0, {num_keys})")
+            flags.append(key in values)
+        return flags
+
+    def get_many(self, keys: Sequence[int]) -> np.ndarray:
+        key_list = self._key_list(keys)
+        values = self._values
+        out = np.empty((len(key_list), self.value_length), dtype=np.float64)
+        for index, key in enumerate(key_list):
+            row = values.get(key)
+            if row is None:
+                self._check_key(key)
+                raise StorageError(f"key {key} is not resident in this store")
+            out[index] = row
+        return out
+
+    def add_many(self, keys: Sequence[int], updates: np.ndarray) -> None:
+        key_list = self._key_list(keys)
+        updates = self._check_batch_values(len(key_list), updates)
+        values = self._values
+        # Resolve every row before mutating so a failed batch leaves no
+        # partial update behind (add_many is check-then-apply).
+        rows = []
+        for key in key_list:
+            row = values.get(key)
+            if row is None:
+                self._check_key(key)
+                raise StorageError(f"key {key} is not resident in this store")
+            rows.append(row)
+        for index, row in enumerate(rows):
+            row += updates[index]
+
+    def set_many(self, keys: Sequence[int], values_in: np.ndarray) -> None:
+        key_list = self._key_list(keys)
+        values_in = self._check_batch_values(len(key_list), values_in)
+        values = self._values
+        for key in key_list:
+            if key not in values:
+                self._check_key(key)
+                raise StorageError(f"key {key} is not resident in this store")
+        for index, key in enumerate(key_list):
+            values[key] = values_in[index].copy()
+
+    def insert_many(self, keys: Sequence[int], values_in: np.ndarray) -> None:
+        key_list = self._key_list(keys)
+        values_in = self._check_batch_values(len(key_list), values_in)
+        values = self._values
+        seen = set()
+        for key in key_list:
+            self._check_key(key)
+            if key in values or key in seen:
+                raise StorageError(f"key {key} is already resident; cannot insert twice")
+            seen.add(key)
+        for index, key in enumerate(key_list):
+            values[key] = values_in[index].copy()
+
+    def remove_many(self, keys: Sequence[int]) -> np.ndarray:
+        key_list = self._key_list(keys)
+        values = self._values
+        seen = set()
+        for key in key_list:
+            if key not in values or key in seen:
+                self._check_key(key)
+                raise StorageError(f"key {key} is not resident in this store")
+            seen.add(key)
+        out = np.empty((len(key_list), self.value_length), dtype=np.float64)
+        for index, key in enumerate(key_list):
+            out[index] = values.pop(key)
+        return out
 
 
 def make_storage(

@@ -22,18 +22,34 @@ class Event:
     Events move through three stages: *pending* (created), *triggered*
     (scheduled on the event queue via :meth:`succeed` or :meth:`fail`), and
     *processed* (popped from the queue; callbacks have run).
+
+    The callback list is allocated lazily: events that nobody listens to (a
+    large fraction of the events on the simulator's hot path) never pay for a
+    list allocation, and the kernel detaches the list on processing without
+    allocating a replacement.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = ("sim", "_callbacks", "_value", "_exception", "_triggered", "_processed")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        #: Callbacks invoked (with the event) when the event is processed.
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
+
+    @property
+    def callbacks(self) -> List[Callable[["Event"], None]]:
+        """Callbacks invoked (with the event) when the event is processed.
+
+        Allocated on first access; callbacks appended after the event was
+        processed are never invoked (same contract as before laziness).
+        """
+        callbacks = self._callbacks
+        if callbacks is None:
+            callbacks = self._callbacks = []
+        return callbacks
 
     @property
     def triggered(self) -> bool:

@@ -77,10 +77,15 @@ class Simulator:
         if time < self._now:
             raise SimulationError("event queue produced a time in the past")
         self._now = time
-        callbacks, event.callbacks = event.callbacks, []
+        # Detach the (lazily allocated) callback list without allocating a
+        # replacement; callbacks registered during processing are dropped,
+        # exactly as with the previous swap-with-fresh-list behaviour.
+        callbacks = event._callbacks
+        event._callbacks = None
         event._mark_processed()
-        for callback in callbacks:
-            callback(event)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue is empty or ``until`` is reached.

@@ -58,7 +58,7 @@ class NetworkStats:
         self.per_channel_messages[channel] = self.per_channel_messages.get(channel, 0) + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A message in flight: payload plus routing metadata."""
 

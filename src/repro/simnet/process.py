@@ -59,8 +59,9 @@ class Process(Event):
         except BaseException as exc:
             # Fail the completion event so that waiting processes see the
             # exception; if nobody is waiting, surface it immediately so bugs
-            # in simulation code do not silently vanish.
-            if self.callbacks:
+            # in simulation code do not silently vanish.  (Reads the raw slot
+            # to avoid allocating an empty callback list just to test it.)
+            if self._callbacks:
                 self.fail(exc)
                 return
             raise
