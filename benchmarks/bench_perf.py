@@ -123,16 +123,29 @@ def check_storage_parity(num_keys=64, value_length=8, seed=0):
         _require(len(batch_store) == 0, f"{make.__name__}: remove_many left keys")
 
 
+#: Systems covered by the determinism guard: the four pre-existing systems
+#: (which must produce bit-identical simulated results through the
+#: management-policy runtime) plus the hybrid composition.
+DETERMINISM_SYSTEMS = ("classic", "lapse", "stale_ssp", "replica", "hybrid")
+
+
 def check_end_to_end_determinism():
-    """Assert that two identical runs produce identical simulated results."""
-    first = run_mf_experiment("lapse", num_nodes=2, workers_per_node=2, epochs=1)
-    second = run_mf_experiment("lapse", num_nodes=2, workers_per_node=2, epochs=1)
-    _require(
-        first.epoch_duration == second.epoch_duration
-        and first.remote_messages == second.remote_messages
-        and first.bytes_sent == second.bytes_sent,
-        "end-to-end run is not deterministic",
-    )
+    """Assert that two identical runs produce identical simulated results.
+
+    Runs every system of :data:`DETERMINISM_SYSTEMS` twice and requires the
+    simulated epoch time, message count, and byte count to match exactly —
+    the guard that the generic server runtime and the management policies
+    stay bit-deterministic.
+    """
+    for system in DETERMINISM_SYSTEMS:
+        first = run_mf_experiment(system, num_nodes=2, workers_per_node=2, epochs=1)
+        second = run_mf_experiment(system, num_nodes=2, workers_per_node=2, epochs=1)
+        _require(
+            first.epoch_duration == second.epoch_duration
+            and first.remote_messages == second.remote_messages
+            and first.bytes_sent == second.bytes_sent,
+            f"end-to-end run of {system!r} is not deterministic",
+        )
 
 
 # --------------------------------------------------------- storage microbench
@@ -312,13 +325,13 @@ def bench_end_to_end(smoke, repeats):
         w2v_scale = W2VScale()
         epochs = 2
     runs = []
-    for system in ("classic", "lapse", "stale_ssp", "replica"):
+    for system in ("classic", "lapse", "stale_ssp", "replica", "hybrid"):
         runs.append(("matrix_factorization", system, mf_scale.num_entries, lambda s=system: run_mf_experiment(
             s, num_nodes=2, workers_per_node=2, scale=mf_scale, epochs=epochs)))
-    for system in ("classic", "lapse", "replica"):
+    for system in ("classic", "lapse", "replica", "hybrid"):
         runs.append(("kge_complex", system, kge_scale.num_triples, lambda s=system: run_kge_experiment(
             s, num_nodes=2, workers_per_node=2, scale=kge_scale, epochs=epochs)))
-    for system in ("classic", "lapse", "stale_ssp", "replica"):
+    for system in ("classic", "lapse", "stale_ssp", "replica", "hybrid"):
         runs.append(("word2vec", system, w2v_scale.num_sentences, lambda s=system: run_w2v_experiment(
             s, num_nodes=2, workers_per_node=2, scale=w2v_scale, epochs=epochs)))
     results = []

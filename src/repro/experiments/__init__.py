@@ -8,7 +8,13 @@
 * :mod:`repro.experiments.reporting` — plain-text tables for benchmark output.
 """
 
-from repro.experiments.reporting import format_table, speedup
+from repro.experiments.reporting import (
+    MANAGEMENT_COUNTERS,
+    format_table,
+    merge_metrics,
+    metrics_rows,
+    speedup,
+)
 from repro.experiments.runner import (
     SYSTEMS,
     KGEScale,
@@ -32,6 +38,7 @@ from repro.experiments.scenarios import (
 __all__ = [
     "DEFAULT_PARALLELISM",
     "KGEScale",
+    "MANAGEMENT_COUNTERS",
     "MFScale",
     "REPLICATION_COMPARISON_SYSTEMS",
     "SYSTEMS",
@@ -41,6 +48,8 @@ __all__ = [
     "kge_scenario",
     "make_parameter_server",
     "matrix_factorization_scenario",
+    "merge_metrics",
+    "metrics_rows",
     "replication_comparison_scenario",
     "run_kge_experiment",
     "run_mf_experiment",

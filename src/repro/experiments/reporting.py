@@ -1,10 +1,31 @@
-"""Plain-text reporting helpers for benchmark output."""
+"""Plain-text reporting helpers for benchmark output.
+
+Besides table formatting, this module is the one place that turns
+:class:`~repro.ps.metrics.PSMetrics` into report rows: benchmarks pass their
+:class:`~repro.experiments.runner.TaskRunResult` lists to
+:func:`metrics_rows` (built on ``PSMetrics.as_dict``) instead of hand-picking
+counters, and :func:`merge_metrics` is the cross-node / cross-run merge.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ExperimentError
+from repro.ps.metrics import PSMetrics
+
+#: Default counters of the management-technique comparisons: relocation
+#: activity (Table 5), location-cache outcomes (Table 3), and the
+#: replication-maintenance counters (the replication analogue of Table 3).
+MANAGEMENT_COUNTERS = (
+    "relocations",
+    "replica_creates",
+    "cache_hits",
+    "cache_stale",
+    "replica_flush_messages",
+    "replica_broadcast_messages",
+    "replica_sync_bytes",
+)
 
 
 def format_table(
@@ -45,3 +66,47 @@ def speedup(baseline: float, measured: float) -> float:
     if measured <= 0:
         raise ExperimentError("measured time must be positive")
     return baseline / measured
+
+
+def merge_metrics(parts: Iterable[PSMetrics]) -> PSMetrics:
+    """Merge per-node (or per-run) metrics into one aggregate.
+
+    Thin, documented entry point over :meth:`PSMetrics.aggregate` so that
+    benchmarks and reports share one merge instead of ad-hoc summing.
+    """
+    return PSMetrics.aggregate(parts)
+
+
+def metrics_rows(
+    results: Sequence[object],
+    counters: Sequence[str] = MANAGEMENT_COUNTERS,
+) -> List[Dict[str, object]]:
+    """One report row per :class:`TaskRunResult`, counters via ``as_dict``.
+
+    Each row identifies the run (task, system, parallelism), reports epoch
+    time, locality, and traffic, and appends the requested ``counters``
+    looked up in :meth:`PSMetrics.as_dict` — replacing the per-benchmark
+    metric plumbing.  Results without PS metrics (e.g. the low-level
+    baseline) leave the counter cells empty.
+    """
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        metrics = result.metrics
+        data = metrics.as_dict() if metrics is not None else {}
+        row: Dict[str, object] = {
+            "task": result.task,
+            "system": result.system,
+            "parallelism": result.parallelism,
+            "epoch_time_s": round(result.epoch_duration, 6),
+            "local_read_frac": (
+                round(metrics.local_read_fraction, 3) if metrics is not None else ""
+            ),
+            "remote_messages": result.remote_messages,
+            "bytes_sent": result.bytes_sent,
+        }
+        for name in counters:
+            if name not in data and metrics is not None:
+                raise ExperimentError(f"unknown PSMetrics counter {name!r}")
+            row[name] = data.get(name, "")
+        rows.append(row)
+    return rows

@@ -25,6 +25,11 @@ name                          meaning
 ``replica_clock``             The same replica PS with clock-triggered
                               synchronization (updates propagate when workers
                               advance their clocks).
+``hybrid``                    Hybrid management (beyond the paper's systems;
+                              the NuPS direction of the paper's outlook):
+                              replicate hot keys, relocate the long tail —
+                              per-key composition of the relocation and
+                              replication policies.
 ============================  =====================================================
 
 ``run_*_experiment`` functions build the cluster at a given parallelism
@@ -52,7 +57,14 @@ from repro.ml import (
 )
 from repro.ml.kge import KGEKeySpace
 from repro.ml.results import EpochResult
-from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, ReplicaPS, StalePS
+from repro.ps import (
+    ClassicIPCPS,
+    ClassicSharedMemoryPS,
+    HybridPS,
+    LapsePS,
+    ReplicaPS,
+    StalePS,
+)
 from repro.ps.base import ParameterServer
 from repro.ps.metrics import PSMetrics
 
@@ -67,7 +79,12 @@ SYSTEMS = (
     "lowlevel",
     "replica",
     "replica_clock",
+    "hybrid",
 )
+
+#: Hot-key threshold used by the ``hybrid`` system: a node replicates a key
+#: it reads remotely this many times; colder keys stay relocatable.
+HYBRID_HOT_KEY_THRESHOLD = 2
 
 #: Worker threads per node used throughout the paper's evaluation.
 PAPER_WORKERS_PER_NODE = 4
@@ -93,6 +110,18 @@ def make_parameter_server(
         return ReplicaPS(cluster, replace(ps_config, replica_sync_trigger="time"))
     if system == "replica_clock":
         return ReplicaPS(cluster, replace(ps_config, replica_sync_trigger="clock"))
+    if system == "hybrid":
+        # Threshold > 1 so that one-off reads stay relocatable: only keys a
+        # node keeps coming back to are replicated there.
+        return HybridPS(
+            cluster,
+            replace(
+                ps_config,
+                replica_sync_trigger="time",
+                hot_key_policy="access_count",
+                hot_key_threshold=HYBRID_HOT_KEY_THRESHOLD,
+            ),
+        )
     raise ExperimentError(f"unknown system {system!r}")
 
 

@@ -25,9 +25,10 @@ from repro.experiments.runner import (
 #: number of simulated nodes.
 DEFAULT_PARALLELISM = (1, 2, 4, 8)
 
-#: The three parameter-management strategies compared by the replication
-#: scenario: static allocation (classic), relocation (Lapse), replication.
-REPLICATION_COMPARISON_SYSTEMS = ("classic_fast_local", "lapse", "replica")
+#: The four parameter-management strategies compared by the replication
+#: scenario: static allocation (classic), relocation (Lapse), replication,
+#: and the per-key hybrid of relocation and replication.
+REPLICATION_COMPARISON_SYSTEMS = ("classic_fast_local", "lapse", "replica", "hybrid")
 
 
 def _result_rows(results: Iterable[TaskRunResult]) -> List[Dict[str, object]]:

@@ -5,14 +5,13 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.ps.base import ParameterServer
-from repro.ps.lapse import LapsePS
 from repro.ps.replica import ReplicaPS
 from repro.ps.stale import StalePS
 
 
 def supports_localize(ps: ParameterServer) -> bool:
-    """Whether the PS supports the ``localize`` primitive (only Lapse does)."""
-    return isinstance(ps, LapsePS)
+    """Whether the PS supports ``localize`` (relocation-capable policies)."""
+    return ps.management_policy.supports_localize
 
 
 def needs_clock(ps: ParameterServer) -> bool:

@@ -11,19 +11,37 @@ and exposing the same client API (Table 2):
   paper's contribution): ``localize``, relocation protocol, home-node location
   management, optional location caches.
 
-A fourth architecture goes beyond the paper's systems:
+Two further architectures go beyond the paper's systems:
 
 * :class:`~repro.ps.replica.ReplicaPS` — *replication*-based parameter
   management (the direction the paper's related work contrasts DPA with):
   eager replication of hot keys, local conflict-free writes, and a
-  time- or clock-triggered synchronization loop.
+  time- or clock-triggered synchronization loop,
+* :class:`~repro.ps.hybrid.HybridPS` — the per-key *combination* the paper's
+  outlook sketches (and NuPS formalizes): replicate hot keys, relocate the
+  long tail.
+
+All of them run on the same generic server runtime: a dispatch-table message
+loop in :class:`~repro.ps.base.ParameterServer` plus a pluggable
+:class:`~repro.ps.policy.ManagementPolicy` (see :mod:`repro.ps.policy`).
 """
 
-from repro.ps.base import NodeState, ParameterServer, WorkerClient
+from repro.ps.base import NodeState, ParameterServer, QueuedOp, WorkerClient
 from repro.ps.classic import ClassicIPCPS, ClassicPS, ClassicSharedMemoryPS
 from repro.ps.futures import OperationHandle
+from repro.ps.hybrid import HybridNodeState, HybridPS, HybridWorkerClient
 from repro.ps.lapse import LapseNodeState, LapsePS, LapseWorkerClient
 from repro.ps.metrics import PSMetrics, RunningStat
+from repro.ps.policy import (
+    EagerReplicationPolicy,
+    HybridManagementPolicy,
+    ManagementPolicy,
+    RelocationPolicy,
+    Route,
+    StaleReplicaPolicy,
+    StaticPolicy,
+    consistency_classification,
+)
 from repro.ps.partition import (
     AccessCountHotKeyPolicy,
     ExplicitHotKeyPolicy,
@@ -47,29 +65,41 @@ __all__ = [
     "ClassicPS",
     "ClassicSharedMemoryPS",
     "DenseStorage",
+    "EagerReplicationPolicy",
     "ExplicitHotKeyPolicy",
     "ExplicitPartitioner",
     "HotKeyPolicy",
     "HashPartitioner",
+    "HybridManagementPolicy",
+    "HybridNodeState",
+    "HybridPS",
+    "HybridWorkerClient",
     "KeyPartitioner",
     "LapseNodeState",
     "LapsePS",
     "LapseWorkerClient",
     "LatchTable",
+    "ManagementPolicy",
     "NoReplicationPolicy",
     "NodeState",
     "OperationHandle",
     "ParameterServer",
     "PSMetrics",
+    "QueuedOp",
     "RangePartitioner",
+    "RelocationPolicy",
     "ReplicaNodeState",
     "ReplicaPS",
     "ReplicaWorkerClient",
+    "Route",
     "RunningStat",
     "SparseStorage",
     "StalePS",
+    "StaleReplicaPolicy",
     "StaleWorkerClient",
+    "StaticPolicy",
     "WorkerClient",
+    "consistency_classification",
     "make_hot_key_policy",
     "make_partitioner",
     "make_storage",

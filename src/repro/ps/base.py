@@ -12,12 +12,18 @@ This module provides:
   (one server thread + several worker threads per node, Figure 2), runs worker
   processes, and exposes metrics and the trained model.
 
-Concrete variants (classic, Lapse, stale) subclass :class:`ParameterServer`
-and :class:`WorkerClient` and implement the message handling / routing logic.
+Concrete variants (classic, Lapse, stale, replica, hybrid) subclass
+:class:`ParameterServer` and :class:`WorkerClient`.  Since the
+management-policy refactor they no longer hand-roll their server loops:
+:meth:`ParameterServer._server_loop` is a single generic message loop driven
+by a per-variant *dispatch table* (:meth:`ParameterServer._server_dispatch`),
+and the per-key routing decisions live in the pluggable
+:class:`~repro.ps.policy.ManagementPolicy` objects (``policy_class``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -99,6 +105,29 @@ def first_missing(state: "NodeState", keys) -> Optional[int]:
     return None
 
 
+@dataclass
+class QueuedOp:
+    """An operation queued while its key is in flight.
+
+    The relocation protocol (Lapse) and the replica-install protocol both
+    leave a key temporarily unanswerable on the node that requested it; the
+    runtime queues operations issued for such keys and drains them, in
+    program order, once the key arrives (§3.2: relocation never produces
+    wrong results).
+
+    ``kind`` is ``"local_pull"`` / ``"local_push"`` for worker-issued
+    operations (completed against ``handle``) and ``"remote_pull"`` /
+    ``"remote_push"`` / ``"register"`` / ``"flush"`` for server-side requests
+    that must be re-processed (``request``) once the key is resident.
+    """
+
+    kind: str
+    key: int
+    handle: Optional["OperationHandle"] = None
+    update: Optional[np.ndarray] = None
+    request: Optional[Any] = None
+
+
 def van_address(node: int) -> Tuple[str, int]:
     """Network address of the client "van" (response demultiplexer) on ``node``."""
     return ("van", node)
@@ -128,6 +157,9 @@ class NodeState:
         self.outstanding: Dict[int, OperationHandle] = {}
         #: Barrier waiters: generation -> list of events to release.
         self.barrier_waiters: Dict[int, List[Event]] = {}
+        # Let the server's management policy install its per-node tables
+        # (location tables, replica stores, subscription sets, ...).
+        ps.management_policy.attach(self)
 
     # ------------------------------------------------------------------ access
     def read_local(self, key: int) -> np.ndarray:
@@ -374,6 +406,12 @@ class WorkerClient:
             "not support localize"
         )
 
+    # ------------------------------------------------------------------ policy
+    @property
+    def policy(self):
+        """The server's :class:`~repro.ps.policy.ManagementPolicy`."""
+        return self.ps.management_policy
+
     # --------------------------------------------------------------- internals
     def _complete_after(
         self, delay: float, action: Callable[[], None]
@@ -398,8 +436,7 @@ class WorkerClient:
         chunk's op id on ``handle`` so the van can route the responses back.
         Pushes always request an acknowledgement.
         """
-        chunks = [keys] if self.ps.ps_config.message_grouping else [[k] for k in keys]
-        for chunk in chunks:
+        for chunk in self._chunks(keys):
             op_id = self.ps.next_op_id()
             self.ps.register_op(op_id, handle)
             if pull:
@@ -425,14 +462,32 @@ class WorkerClient:
                 size = message_size(len(chunk), chunk_updates.size)
             self.ps.send_to_server(self.node_id, destination, request, size)
 
+    def _chunks(self, keys: List[int]) -> List[List[int]]:
+        """Chunk assembly (§3.7): one chunk per destination when message
+        grouping is on, one single-key chunk per key otherwise."""
+        if self.ps.ps_config.message_grouping:
+            return [keys]
+        return [[key] for key in keys]
+
 
 class ParameterServer:
-    """Base class for all simulated parameter servers."""
+    """Base class for all simulated parameter servers.
+
+    The server runtime is generic: one message loop per node
+    (:meth:`_server_loop`) dispatches over a per-variant table of message
+    handlers (:meth:`_server_dispatch`), and per-key routing and residency
+    decisions are delegated to a pluggable
+    :class:`~repro.ps.policy.ManagementPolicy` (``policy_class``).
+    """
 
     #: Concrete subclasses set this to their client implementation.
     client_class: Type[WorkerClient] = WorkerClient
+    #: Concrete subclasses set this to their management-policy implementation.
+    policy_class: Optional[type] = None
     #: Human-readable name used in reports.
     name: str = "base"
+
+    _management_policy: Optional[Any] = None
 
     def __init__(
         self,
@@ -611,10 +666,93 @@ class ParameterServer:
         self._op_counter += 1
         return self._op_counter
 
+    # ------------------------------------------------------------------ policy
+    @property
+    def management_policy(self):
+        """The :class:`~repro.ps.policy.ManagementPolicy` of this server."""
+        if self._management_policy is None:
+            policy_class = self.policy_class
+            if policy_class is None:
+                # Deferred import: policy.py imports from this module.
+                from repro.ps.policy import StaticPolicy
+
+                policy_class = StaticPolicy
+            self._management_policy = policy_class(self)
+        return self._management_policy
+
     # ------------------------------------------------------------ server loops
-    def _server_loop(self, state: NodeState) -> Generator:
-        """Message-handling loop of the server thread on ``state``'s node."""
+    def _server_dispatch(
+        self, state: NodeState
+    ) -> Dict[type, Tuple[float, Callable[[NodeState, Any], None]]]:
+        """Dispatch table of the server thread on ``state``'s node.
+
+        Maps each message type the variant understands to a pair
+        ``(processing_cost, handler)``: the loop charges ``processing_cost``
+        simulated seconds, then calls ``handler(state, message)``.  Policies
+        contribute entries for the message types of their protocols (e.g. the
+        three relocation messages, or replica flushes and broadcasts).
+        """
         raise NotImplementedError
+
+    def _server_loop(self, state: NodeState) -> Generator:
+        """Generic message loop of the server thread (all variants).
+
+        Replaces the per-variant hand-rolled loops: receive, look the message
+        type up in the dispatch table, charge its processing cost, handle.
+        """
+        dispatch = self._server_dispatch(state)
+        inbox = state.node.server_inbox
+        metrics = state.metrics
+        while True:
+            message = yield inbox.get()
+            entry = dispatch.get(type(message))
+            if entry is None:
+                raise ParameterServerError(
+                    f"{self.name} PS server on node {state.node_id} received "
+                    f"unexpected message {message!r}"
+                )
+            metrics.server_messages += 1
+            cost, handler = entry
+            yield cost
+            handler(state, message)
+
+    # --------------------------------------------- shared server-side replies
+    def _respond_pull(
+        self, state: NodeState, request: Any, keys: Sequence[int], values: np.ndarray
+    ) -> None:
+        """Send a :class:`PullResponse` for ``keys`` back to the requester."""
+        response = PullResponse(
+            op_id=request.op_id,
+            keys=tuple(keys),
+            values=values,
+            responder_node=state.node_id,
+        )
+        size = message_size(len(keys), values.size)
+        self.network.send(state.node_id, request.reply_to, response, size)
+
+    def _ack_push(self, state: NodeState, request: Any, keys: Sequence[int]) -> None:
+        """Acknowledge an applied push (if the requester asked for an ack)."""
+        if request.needs_ack:
+            ack = PushAck(
+                op_id=request.op_id, keys=tuple(keys), responder_node=state.node_id
+            )
+            self.network.send(
+                state.node_id, request.reply_to, ack, message_size(len(keys), 0)
+            )
+
+    def _server_pull(self, state: NodeState, request: Any) -> None:
+        """Answer a pull for keys this node must own (static-allocation paths)."""
+        values = self.management_policy.handle_read(
+            state, request.keys, what="asked for"
+        )
+        self._respond_pull(state, request, request.keys, values)
+
+    def _server_push(self, state: NodeState, request: Any) -> None:
+        """Apply a push for keys this node must own (static-allocation paths)."""
+        self.management_policy.handle_write(
+            state, request.keys, request.updates, what="asked to update"
+        )
+        self._ack_push(state, request, request.keys)
 
     def _van_loop(self, state: NodeState, inbox) -> Generator:
         """Demultiplex responses arriving at this node back to operation handles."""

@@ -1,8 +1,9 @@
 """Classic parameter server (PS-Lite style) with static parameter allocation.
 
 Parameters are allocated to servers once, via a static partitioning of the key
-space, and never move (§2.1).  Every pull/push for a key is answered by that
-key's server.  Two local-access modes are provided:
+space, and never move (§2.1) — routing is delegated to
+:class:`~repro.ps.policy.StaticPolicy`.  Every pull/push for a key is answered
+by that key's server.  Two local-access modes are provided:
 
 * ``shared_memory_local_access=False`` — the PS-Lite behaviour: even
   parameters stored on the *same* node are accessed through inter-process
@@ -18,21 +19,19 @@ key's server.  Two local-access modes are provided:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.config import message_size
-from repro.errors import ParameterServerError, StorageError
 from repro.ps.base import (
     NodeState,
     ParameterServer,
     WorkerClient,
-    first_missing,
     select_rows,
 )
 from repro.ps.futures import OperationHandle
-from repro.ps.messages import PullRequest, PullResponse, PushAck, PushRequest
+from repro.ps.messages import PullRequest, PushRequest
+from repro.ps.policy import ROUTE_LOCAL, StaticPolicy
 
 
 class ClassicWorkerClient(WorkerClient):
@@ -121,19 +120,18 @@ class ClassicWorkerClient(WorkerClient):
 
         self._complete_after(delay, action)
 
-    # --------------------------------------------------------------- messaging
+    # --------------------------------------------------------------- routing
     def _split_by_owner(
         self, keys: Tuple[int, ...]
     ) -> Tuple[List[int], Dict[int, List[int]]]:
-        owners = self.ps.partitioner.nodes_of_list(keys)
-        node_id = self.node_id
+        routes = self.policy.route_many(self.state, keys)
         local_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        for key, owner in zip(keys, owners):
-            if owner == node_id:
+        for key, route in zip(keys, routes):
+            if route.kind == ROUTE_LOCAL:
                 local_keys.append(key)
             else:
-                remote_groups[owner].append(key)
+                remote_groups[route.destination].append(key)
         return local_keys, dict(remote_groups)
 
     # Request sending is inherited from WorkerClient._send_remote (chunked
@@ -144,61 +142,18 @@ class ClassicPS(ParameterServer):
     """PS-Lite-style parameter server with static allocation."""
 
     client_class = ClassicWorkerClient
+    policy_class = StaticPolicy
     name = "classic"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
 
-    def _server_loop(self, state: NodeState) -> Generator:
-        cost = self.cluster.cost_model
-        while True:
-            message = yield state.node.server_inbox.get()
-            yield cost.server_processing_time
-            if isinstance(message, PullRequest):
-                self._handle_pull(state, message)
-            elif isinstance(message, PushRequest):
-                self._handle_push(state, message)
-            else:
-                raise ParameterServerError(
-                    f"classic PS server received unexpected message {message!r}"
-                )
-
-    def _handle_pull(self, state: NodeState, request: PullRequest) -> None:
-        try:
-            values = state.read_local_many(request.keys)
-        except StorageError:
-            bad = first_missing(state, request.keys)
-            if bad is None:
-                raise
-            raise ParameterServerError(
-                f"classic PS node {state.node_id} asked for key {bad} it does not own"
-            ) from None
-        response = PullResponse(
-            op_id=request.op_id,
-            keys=request.keys,
-            values=values,
-            responder_node=state.node_id,
-        )
-        size = message_size(len(request.keys), len(request.keys) * self.ps_config.value_length)
-        self.network.send(state.node_id, request.reply_to, response, size)
-
-    def _handle_push(self, state: NodeState, request: PushRequest) -> None:
-        try:
-            state.write_local_many(request.keys, request.updates)
-        except StorageError:
-            bad = first_missing(state, request.keys)
-            if bad is None:
-                raise
-            raise ParameterServerError(
-                f"classic PS node {state.node_id} asked to update key {bad} it does not own"
-            ) from None
-        if request.needs_ack:
-            ack = PushAck(
-                op_id=request.op_id, keys=request.keys, responder_node=state.node_id
-            )
-            self.network.send(
-                state.node_id, request.reply_to, ack, message_size(len(request.keys), 0)
-            )
+    def _server_dispatch(self, state: NodeState):
+        cost = self.cluster.cost_model.server_processing_time
+        return {
+            PullRequest: (cost, self._server_pull),
+            PushRequest: (cost, self._server_push),
+        }
 
 
 class ClassicSharedMemoryPS(ClassicPS):

@@ -19,6 +19,12 @@ This module implements the system described in Section 3 of the paper:
 * **Message grouping** (§3.7): multi-key operations send one message per
   destination node.
 
+Per-key routing (shared-memory residency, relocation queueing, home/cache
+forwarding) is implemented by :class:`~repro.ps.policy.RelocationPolicy`; the
+server loop is the generic dispatch loop of
+:class:`~repro.ps.base.ParameterServer`, with the three relocation-protocol
+messages contributed by the policy.
+
 The implementation preserves the consistency behaviour analysed in §3.4:
 sequential consistency per key for synchronous operations and for
 asynchronous operations without location caches; location caches can break
@@ -30,19 +36,19 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import message_size
-from repro.errors import ParameterServerError, RelocationError, StorageError
+from repro.errors import RelocationError, StorageError
 from repro.ps.base import (
     NodeState,
     ParameterServer,
+    QueuedOp,
     WorkerClient,
     copy_rows,
     select_rows,
-    van_address,
 )
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import (
@@ -55,17 +61,15 @@ from repro.ps.messages import (
     RelocateInstruction,
     RelocationTransfer,
 )
+from repro.ps.policy import ROUTE_LOCAL, ROUTE_QUEUE, RelocationPolicy
 
-
-@dataclass
-class QueuedOp:
-    """An operation queued at the new owner while a key is relocating."""
-
-    kind: str  # "local_pull", "local_push", "remote_pull", "remote_push"
-    key: int
-    handle: Optional[OperationHandle] = None
-    update: Optional[np.ndarray] = None
-    request: Optional[Any] = None
+__all__ = [
+    "LapseNodeState",
+    "LapsePS",
+    "LapseWorkerClient",
+    "QueuedOp",
+    "RelocatingKey",
+]
 
 
 @dataclass
@@ -83,18 +87,18 @@ class RelocatingKey:
 
 
 class LapseNodeState(NodeState):
-    """Per-node state of Lapse: adds location tables, caches, and relocation state."""
+    """Per-node state of Lapse: location tables, caches, and relocation state.
 
-    def __init__(self, ps: "LapsePS", node) -> None:
-        super().__init__(ps, node)
-        #: Owner of every key homed at this node (home-node location table).
-        self.home_location: Dict[int, int] = {}
-        #: Keys currently relocating to this node.
-        self.relocating_in: Dict[int, RelocatingKey] = {}
-        #: For keys this node recently transferred away: where they went.
-        self.last_transfer: Dict[int, int] = {}
-        #: Optional location cache: key -> believed owner.
-        self.location_cache: Dict[int, int] = {}
+    The tables themselves (``home_location``, ``relocating_in``,
+    ``last_transfer``, ``location_cache``) are installed by
+    :meth:`repro.ps.policy.RelocationPolicy.attach`; the annotations below
+    document them for readers and type checkers.
+    """
+
+    home_location: Dict[int, int]
+    relocating_in: Dict[int, "RelocatingKey"]
+    last_transfer: Dict[int, int]
+    location_cache: Dict[int, int]
 
 
 class LapseWorkerClient(WorkerClient):
@@ -109,14 +113,13 @@ class LapseWorkerClient(WorkerClient):
         local_keys: List[int] = []
         queued_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        resident = state.storage.contains_flags(keys)
-        for key, is_local in zip(keys, resident):
-            if is_local:
+        for key, route in zip(keys, self.policy.route_many(state, keys)):
+            if route.kind == ROUTE_LOCAL:
                 local_keys.append(key)
-            elif key in state.relocating_in:
+            elif route.kind == ROUTE_QUEUE:
                 queued_keys.append(key)
             else:
-                remote_groups[self._route_destination(key)].append(key)
+                remote_groups[route.destination].append(key)
         if local_keys:
             metrics.key_reads_local += len(local_keys)
             self._local_pull(handle, local_keys)
@@ -148,14 +151,13 @@ class LapseWorkerClient(WorkerClient):
         local_keys: List[int] = []
         queued_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        resident = state.storage.contains_flags(keys)
-        for key, is_local in zip(keys, resident):
-            if is_local:
+        for key, route in zip(keys, self.policy.route_many(state, keys, write=True)):
+            if route.kind == ROUTE_LOCAL:
                 local_keys.append(key)
-            elif key in state.relocating_in:
+            elif route.kind == ROUTE_QUEUE:
                 queued_keys.append(key)
             else:
-                remote_groups[self._route_destination(key)].append(key)
+                remote_groups[route.destination].append(key)
         if local_keys:
             metrics.key_writes_local += len(local_keys)
             self._local_push(handle, local_keys, updates, key_to_row)
@@ -167,7 +169,9 @@ class LapseWorkerClient(WorkerClient):
                     kind="local_push",
                     key=key,
                     handle=handle,
-                    update=updates[key_to_row[key]],
+                    # Snapshot at issue time: the caller may reuse its update
+                    # buffer while the relocation is in flight (see copy_rows).
+                    update=updates[key_to_row[key]].copy(),
                 )
             )
         for destination, dest_keys in remote_groups.items():
@@ -195,7 +199,7 @@ class LapseWorkerClient(WorkerClient):
         already_local: List[int] = []
         home_groups: Dict[int, List[int]] = defaultdict(list)
         for key in keys:
-            if state.storage.contains(key):
+            if self._localized_without_move(state, key):
                 already_local.append(key)
             elif key in state.relocating_in:
                 state.relocating_in[key].localize_handles.append(handle)
@@ -223,6 +227,10 @@ class LapseWorkerClient(WorkerClient):
                 ps.send_to_server(
                     self.node_id, home, request, message_size(len(home_keys), 0)
                 )
+
+    def _localized_without_move(self, state: LapseNodeState, key: int) -> bool:
+        """Whether ``key`` is already local (no relocation needed)."""
+        return state.storage.contains(key)
 
     # ------------------------------------------------------------ local access
     def _local_pull(self, handle: OperationHandle, local_keys: List[int]) -> None:
@@ -299,7 +307,7 @@ class LapseWorkerClient(WorkerClient):
                     kind="local_pull" if pull else "local_push",
                     key=key,
                     handle=handle,
-                    update=update,
+                    update=None if update is None else update.copy(),
                 )
             )
             return
@@ -319,19 +327,11 @@ class LapseWorkerClient(WorkerClient):
     # ---------------------------------------------------------------- routing
     def _route_destination(self, key: int) -> int:
         """Choose the node to contact for a non-local access to ``key``."""
-        state = self.state
-        ps: "LapsePS" = self.ps  # type: ignore[assignment]
-        if self.ps.ps_config.location_caches and key in state.location_cache:
-            state.metrics.cache_hits += 1
-            return state.location_cache[key]
-        home = ps.home_node(key)
-        if home == self.node_id:
-            # The home table is in this node's shared memory; contact the owner
-            # directly (2 messages instead of 3).
-            return state.home_location[key]
-        if self.ps.ps_config.location_caches:
-            state.metrics.cache_misses += 1
-        return home
+        return self._relocation_policy().route_destination(self.state, key)
+
+    def _relocation_policy(self) -> RelocationPolicy:
+        """The relocation policy handling cold keys (overridden by hybrid)."""
+        return self.policy  # type: ignore[return-value]
 
     # _send_remote is inherited from WorkerClient: chunked pull/push requests
     # routed to a destination server, with op ids registered for the van.
@@ -341,6 +341,7 @@ class LapsePS(ParameterServer):
     """Parameter server with dynamic parameter allocation (the paper's Lapse)."""
 
     client_class = LapseWorkerClient
+    policy_class = RelocationPolicy
     name = "lapse"
 
     def _make_node_state(self, node) -> LapseNodeState:
@@ -379,28 +380,15 @@ class LapsePS(ParameterServer):
             count=keys.size,
         )
 
-    # ------------------------------------------------------------ server loop
-    def _server_loop(self, state: LapseNodeState) -> Generator:  # type: ignore[override]
-        cost = self.cluster.cost_model
-        while True:
-            message = yield state.node.server_inbox.get()
-            if isinstance(message, (PullRequest, PushRequest)):
-                yield cost.server_processing_time
-                self._handle_access(state, message)
-            elif isinstance(message, LocalizeRequest):
-                yield cost.relocation_processing_time
-                self.process_localize_at_home(state, message.keys, message.requester_node)
-            elif isinstance(message, RelocateInstruction):
-                yield cost.relocation_processing_time
-                self._handle_instruction(state, message)
-            elif isinstance(message, RelocationTransfer):
-                yield cost.relocation_processing_time
-                self._handle_transfer(state, message)
-            else:
-                raise ParameterServerError(
-                    f"Lapse server on node {state.node_id} received unexpected "
-                    f"message {message!r}"
-                )
+    # ---------------------------------------------------------- server dispatch
+    def _server_dispatch(self, state: LapseNodeState):  # type: ignore[override]
+        cost = self.cluster.cost_model.server_processing_time
+        dispatch = {
+            PullRequest: (cost, self._handle_access),
+            PushRequest: (cost, self._handle_access),
+        }
+        dispatch.update(self.management_policy.server_handlers(state))
+        return dispatch
 
     # ------------------------------------------------------------ pull / push
     def _handle_access(self, state: LapseNodeState, request: Any) -> None:
@@ -439,25 +427,12 @@ class LapsePS(ParameterServer):
         key_to_row = {key: index for index, key in enumerate(request.keys)}
         if is_pull:
             values = state.read_local_many(keys)
-            response = PullResponse(
-                op_id=request.op_id,
-                keys=tuple(keys),
-                values=values,
-                responder_node=state.node_id,
-            )
-            size = message_size(len(keys), values.size)
-            self.network.send(state.node_id, request.reply_to, response, size)
+            self._respond_pull(state, request, keys, values)
         else:
             state.write_local_many(
                 keys, select_rows(request.updates, [key_to_row[key] for key in keys])
             )
-            if request.needs_ack:
-                ack = PushAck(
-                    op_id=request.op_id, keys=tuple(keys), responder_node=state.node_id
-                )
-                self.network.send(
-                    state.node_id, request.reply_to, ack, message_size(len(keys), 0)
-                )
+            self._ack_push(state, request, keys)
 
     def _forward_destination(self, state: LapseNodeState, key: int) -> int:
         """Best next hop for a key this node neither owns nor is receiving.
@@ -597,19 +572,32 @@ class LapsePS(ParameterServer):
                 )
         if not transfer_keys:
             return
+        transfer = self._build_transfer(state, transfer_keys, instruction)
+        size = message_size(len(transfer_keys), transfer.values.size)
+        if instruction.new_owner == state.node_id:
+            self._handle_transfer(state, transfer)
+        else:
+            self.send_to_server(state.node_id, instruction.new_owner, transfer, size)
+
+    def _build_transfer(
+        self,
+        state: LapseNodeState,
+        transfer_keys: List[int],
+        instruction: RelocateInstruction,
+    ) -> RelocationTransfer:
+        """Remove ``transfer_keys`` from the old owner and build message 3.
+
+        Overridden by the hybrid PS to hand subscriber sets over with the
+        parameter values.
+        """
         values = state.storage.remove_many(transfer_keys)
-        transfer = RelocationTransfer(
+        return RelocationTransfer(
             op_id=instruction.op_id,
             keys=tuple(transfer_keys),
             values=values,
             old_owner=state.node_id,
             removed_at=self.sim.now,
         )
-        size = message_size(len(transfer_keys), values.size)
-        if instruction.new_owner == state.node_id:
-            self._handle_transfer(state, transfer)
-        else:
-            self.send_to_server(state.node_id, instruction.new_owner, transfer, size)
 
     def _handle_transfer(
         self, state: LapseNodeState, transfer: RelocationTransfer
@@ -626,6 +614,7 @@ class LapsePS(ParameterServer):
                     "it did not request"
                 )
             state.storage.insert(key, transfer.values[index])
+            self._install_transferred(state, transfer, index, key)
             entry = state.relocating_in.pop(key)
             state.metrics.relocations += 1
             state.metrics.relocation_time.record(self.sim.now - entry.requested_at)
@@ -644,6 +633,11 @@ class LapsePS(ParameterServer):
                 )
                 self._handle_instruction(state, follow_up)
 
+    def _install_transferred(
+        self, state: LapseNodeState, transfer: RelocationTransfer, index: int, key: int
+    ) -> None:
+        """Extra installation work per transferred key (hybrid: subscribers)."""
+
     def _complete_requester_side(
         self, state: LapseNodeState, keys: List[int], values: Optional[np.ndarray]
     ) -> None:
@@ -659,21 +653,25 @@ class LapsePS(ParameterServer):
     def _drain_queue(self, state: LapseNodeState, key: int, entry: RelocatingKey) -> None:
         """Process operations queued while ``key`` was relocating, in order."""
         for queued in entry.queued_ops:
-            if queued.kind == "local_pull":
-                if not state.storage.contains(key):
-                    raise RelocationError(
-                        f"queued local pull for key {key} but key is not resident"
-                    )
-                queued.handle.complete_keys([key], state.read_local(key).reshape(1, -1))
-            elif queued.kind == "local_push":
-                state.write_local(key, queued.update)
-                queued.handle.complete_keys([key])
-            elif queued.kind in ("remote_pull", "remote_push"):
-                request = queued.request
-                single = self._single_key_view(request, key)
-                self._handle_access(state, single)
-            else:  # pragma: no cover - defensive
-                raise RelocationError(f"unknown queued op kind {queued.kind!r}")
+            self._drain_one(state, key, queued)
+
+    def _drain_one(self, state: LapseNodeState, key: int, queued: QueuedOp) -> None:
+        """Process one queued operation for a key that just became resident."""
+        if queued.kind == "local_pull":
+            if not state.storage.contains(key):
+                raise RelocationError(
+                    f"queued local pull for key {key} but key is not resident"
+                )
+            queued.handle.complete_keys([key], state.read_local(key).reshape(1, -1))
+        elif queued.kind == "local_push":
+            state.write_local(key, queued.update)
+            queued.handle.complete_keys([key])
+        elif queued.kind in ("remote_pull", "remote_push"):
+            request = queued.request
+            single = self._single_key_view(request, key)
+            self._handle_access(state, single)
+        else:  # pragma: no cover - defensive
+            raise RelocationError(f"unknown queued op kind {queued.kind!r}")
 
     def _single_key_view(self, request: Any, key: int) -> Any:
         """Build a single-key copy of a multi-key request for queued processing."""

@@ -100,6 +100,10 @@ class RelocationTransfer:
     ``removed_at`` is the simulated time at which the old owner stopped
     answering operations for these keys; the new owner uses it to measure the
     blocking time of the relocation (§3.2).
+
+    ``subscribers`` is used by the hybrid PS only: one tuple of subscriber
+    node ids per transferred key, so that replica-broadcast duties move with
+    the key.  Empty for pure relocation (Lapse).
     """
 
     op_id: int
@@ -107,6 +111,7 @@ class RelocationTransfer:
     values: np.ndarray
     old_owner: int
     removed_at: float = 0.0
+    subscribers: Tuple[Tuple[int, ...], ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

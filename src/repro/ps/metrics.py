@@ -76,6 +76,8 @@ class PSMetrics:
         cache_hits / cache_misses / cache_stale: Location-cache outcomes.
         clock_advances: Clock/barrier advances (stale PS and parameter
             blocking).
+        server_messages: Messages handled by this node's server thread (the
+            generic dispatch loop counts every request/protocol message).
         replica_refreshes: Replica values refreshed from owners (stale and
             replica PS).
         replica_reads: Key reads answered from a local replica.
@@ -109,6 +111,7 @@ class PSMetrics:
     cache_misses: int = 0
     cache_stale: int = 0
     clock_advances: int = 0
+    server_messages: int = 0
     replica_refreshes: int = 0
     replica_reads: int = 0
     replica_writes: int = 0
@@ -173,6 +176,7 @@ class PSMetrics:
             "cache_misses",
             "cache_stale",
             "clock_advances",
+            "server_messages",
             "replica_refreshes",
             "replica_reads",
             "replica_writes",
@@ -218,6 +222,7 @@ class PSMetrics:
             "cache_misses": self.cache_misses,
             "cache_stale": self.cache_stale,
             "clock_advances": self.clock_advances,
+            "server_messages": self.server_messages,
             "replica_refreshes": self.replica_refreshes,
             "replica_reads": self.replica_reads,
             "replica_writes": self.replica_writes,

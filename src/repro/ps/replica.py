@@ -27,6 +27,10 @@ compared head-to-head on the same simulated cluster:
   (:class:`~repro.ps.messages.ReplicaDeltaBroadcast`); a subscriber never
   receives its own updates back, so nothing is double-counted.
 
+Per-key routing (owned / replicated / installing / hot / cold) is implemented
+by :class:`~repro.ps.policy.EagerReplicationPolicy`; the server loop is the
+generic dispatch loop of :class:`~repro.ps.base.ParameterServer`.
+
 The price of replication is consistency (§3.4 of the paper makes the same
 point for location caches and stale replicas): between synchronization rounds
 a replica read can miss other nodes' committed writes, so per-key sequential
@@ -39,81 +43,64 @@ consistency test-suite demonstrates both directions.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.config import message_size
-from repro.errors import ParameterServerError, StorageError
+from repro.errors import ParameterServerError
 from repro.ps.base import (
     NodeState,
     ParameterServer,
+    QueuedOp,
     WorkerClient,
-    first_missing,
     select_rows,
     van_address,
 )
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import (
     PullRequest,
-    PullResponse,
-    PushAck,
     PushRequest,
     ReplicaDeltaBroadcast,
     ReplicaInstall,
     ReplicaRegisterRequest,
     ReplicaSyncFlush,
 )
-from repro.ps.partition import HotKeyPolicy, make_hot_key_policy
+from repro.ps.partition import HotKeyPolicy
+from repro.ps.policy import (
+    ROUTE_LOCAL,
+    ROUTE_QUEUE,
+    ROUTE_REPLICA,
+    ROUTE_SUBSCRIBE,
+    EagerReplicationPolicy,
+    InstallingKey,
+)
 from repro.ps.storage import gather_rows
 from repro.simnet.events import Event
 
-
-@dataclass
-class InstallingKey:
-    """Operations issued for a key while its replica install is in flight.
-
-    Mirrors Lapse's relocation queue: accesses issued between the subscribe
-    request and the arrival of the snapshot are buffered and processed, in
-    program order, once the replica is installed.
-    """
-
-    key: int
-    #: Queued operations as ``("pull", handle, None)`` / ``("push", handle, update)``.
-    ops: List[Tuple[str, OperationHandle, Optional[np.ndarray]]] = field(
-        default_factory=list
-    )
-    #: Deltas broadcast by the owner that overtook the snapshot install (a
-    #: broadcast for few keys can be shorter, hence faster, than the install).
-    pending_deltas: List[np.ndarray] = field(default_factory=list)
+__all__ = [
+    "InstallingKey",
+    "ReplicaNodeState",
+    "ReplicaPS",
+    "ReplicaWorkerClient",
+]
 
 
 class ReplicaNodeState(NodeState):
-    """Per-node state of the replica PS: replica store, buffers, subscriptions."""
+    """Per-node state of the replica PS: replica store, buffers, subscriptions.
 
-    def __init__(self, ps: "ReplicaPS", node) -> None:
-        super().__init__(ps, node)
-        config = ps.ps_config
-        #: Local replicas of remote parameters: key -> current value.
-        self.replicas: Dict[int, np.ndarray] = {}
-        #: Updates applied to local replicas but not yet flushed to the owner.
-        self.pending_updates: Dict[int, np.ndarray] = {}
-        #: Keys whose replica install is in flight, with queued operations.
-        self.installing: Dict[int, InstallingKey] = {}
-        #: Owner side: nodes holding a replica of each locally-owned key.
-        self.subscribers: Dict[int, Set[int]] = defaultdict(set)
-        #: Owner side: per-subscriber aggregated deltas awaiting broadcast.
-        self.broadcast_buffer: Dict[int, Dict[int, np.ndarray]] = defaultdict(dict)
-        #: This node's hot-key replication policy (per-node access counts).
-        self.policy: HotKeyPolicy = make_hot_key_policy(
-            config.hot_key_policy,
-            threshold=config.hot_key_threshold,
-            hot_keys=config.hot_keys,
-            num_keys=config.num_keys,
-        )
-        #: Whether a time-triggered synchronization event is already scheduled.
-        self.sync_timer_pending = False
+    The tables are installed by
+    :meth:`repro.ps.policy.EagerReplicationPolicy.attach`; the annotations
+    below document them.
+    """
+
+    replicas: Dict[int, np.ndarray]
+    pending_updates: Dict[int, np.ndarray]
+    installing: Dict[int, InstallingKey]
+    subscribers: Dict[int, Set[int]]
+    broadcast_buffer: Dict[int, Dict[int, np.ndarray]]
+    policy: HotKeyPolicy
+    sync_timer_pending: bool
 
     @property
     def sync_dirty(self) -> bool:
@@ -131,33 +118,32 @@ class ReplicaWorkerClient(WorkerClient):
     # ------------------------------------------------------------------- pull
     def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
         state = self.state
-        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
         metrics = state.metrics
         local_keys: List[int] = []
         replica_keys: List[int] = []
         register_groups: Dict[int, List[int]] = defaultdict(list)
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        owners = ps.partitioner.nodes_of_list(keys)
-        for key, owner in zip(keys, owners):
-            if owner == self.node_id:
+        for key, route in zip(keys, self.policy.route_many(state, keys)):
+            if route.kind == ROUTE_LOCAL:
                 local_keys.append(key)
-            elif key in state.replicas:
+            elif route.kind == ROUTE_REPLICA:
                 replica_keys.append(key)
-            elif key in state.installing:
+            elif route.kind == ROUTE_QUEUE:
                 # Answered locally once the install arrives (like Lapse's
                 # queued operations during a relocation).
                 metrics.queued_ops += 1
                 metrics.key_reads_local += 1
                 metrics.replica_reads += 1
-                state.installing[key].ops.append(("pull", handle, None))
+                state.installing[key].ops.append(
+                    QueuedOp(kind="local_pull", key=key, handle=handle)
+                )
+            elif route.kind == ROUTE_SUBSCRIBE:
+                state.installing[key].ops.append(
+                    QueuedOp(kind="local_pull", key=key, handle=handle)
+                )
+                register_groups[route.destination].append(key)
             else:
-                state.policy.record_access(key)
-                if state.policy.is_hot(key):
-                    state.installing[key] = InstallingKey(key=key)
-                    state.installing[key].ops.append(("pull", handle, None))
-                    register_groups[owner].append(key)
-                else:
-                    remote_groups[owner].append(key)
+                remote_groups[route.destination].append(key)
         if local_keys:
             metrics.key_reads_local += len(local_keys)
             self._local_pull(handle, local_keys, from_replica=False)
@@ -185,31 +171,33 @@ class ReplicaWorkerClient(WorkerClient):
         needs_ack: bool,
     ) -> None:
         state = self.state
-        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
         metrics = state.metrics
         key_to_row = {key: index for index, key in enumerate(keys)}
         local_keys: List[int] = []
         replica_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)
-        owners = ps.partitioner.nodes_of_list(keys)
-        for key, owner in zip(keys, owners):
-            if owner == self.node_id:
+        for key, route in zip(keys, self.policy.route_many(state, keys, write=True)):
+            if route.kind == ROUTE_LOCAL:
                 local_keys.append(key)
-            elif key in state.replicas:
+            elif route.kind == ROUTE_REPLICA:
                 replica_keys.append(key)
-            elif key in state.installing:
+            elif route.kind == ROUTE_QUEUE:
                 metrics.queued_ops += 1
                 metrics.key_writes_local += 1
                 metrics.replica_writes += 1
                 state.installing[key].ops.append(
-                    ("push", handle, updates[key_to_row[key]].copy())
+                    QueuedOp(
+                        kind="local_push",
+                        key=key,
+                        handle=handle,
+                        update=updates[key_to_row[key]].copy(),
+                    )
                 )
             else:
                 # Replication is established on reads; a write to a key this
-                # node does not replicate goes straight to the owner (and still
-                # counts toward the hot-key policy's access statistics).
-                state.policy.record_access(key)
-                remote_groups[owner].append(key)
+                # node does not replicate goes straight to the owner (the
+                # policy already counted it toward the hot-key statistics).
+                remote_groups[route.destination].append(key)
         if local_keys or replica_keys:
             metrics.key_writes_local += len(local_keys) + len(replica_keys)
             metrics.replica_writes += len(replica_keys)
@@ -308,11 +296,9 @@ class ReplicaWorkerClient(WorkerClient):
             state.latches.acquire(key)
             return state.replicas[key].copy()
         if key not in state.installing:
-            state.policy.record_access(key)
-            if state.policy.is_hot(key):
-                state.installing[key] = InstallingKey(key=key)
-                owner = self.ps.partitioner.node_of(key)
-                self._send_register(owner, [key])
+            route = self.policy.route(state, key)
+            if route.kind == ROUTE_SUBSCRIBE:
+                self._send_register(route.destination, [key])
         return None
 
     # ------------------------------------------------------------------ clock
@@ -325,9 +311,8 @@ class ReplicaWorkerClient(WorkerClient):
         """
         self._clock += 1
         self.state.metrics.clock_advances += 1
-        ps: "ReplicaPS" = self.ps  # type: ignore[assignment]
         if self.ps.ps_config.replica_sync_trigger == "clock":
-            ps.synchronize_node(self.state)
+            self.policy.on_sync(self.state)
         return
         yield  # pragma: no cover - makes this function a generator
 
@@ -336,6 +321,7 @@ class ReplicaPS(ParameterServer):
     """Replication-based parameter server with eager hot-key replication."""
 
     client_class = ReplicaWorkerClient
+    policy_class = EagerReplicationPolicy
     name = "replica"
 
     def _make_node_state(self, node) -> ReplicaNodeState:
@@ -452,93 +438,39 @@ class ReplicaPS(ParameterServer):
         for state in self.states:
             self.synchronize_node(state)  # type: ignore[arg-type]
 
-    # ------------------------------------------------------------ server loop
-    def _server_loop(self, state: ReplicaNodeState) -> Generator:  # type: ignore[override]
-        cost = self.cluster.cost_model
-        while True:
-            message = yield state.node.server_inbox.get()
-            yield cost.server_processing_time
-            if isinstance(message, PullRequest):
-                self._handle_pull(state, message)
-            elif isinstance(message, PushRequest):
-                self._handle_push(state, message)
-            elif isinstance(message, ReplicaRegisterRequest):
-                self._handle_register(state, message)
-            elif isinstance(message, ReplicaSyncFlush):
-                self._handle_flush(state, message)
-            elif isinstance(message, ReplicaDeltaBroadcast):
-                self._handle_broadcast(state, message)
-            else:
-                raise ParameterServerError(
-                    f"replica PS server on node {state.node_id} received unexpected "
-                    f"message {message!r}"
-                )
-
-    def _check_owned(self, state: ReplicaNodeState, key: int, what: str) -> None:
-        if not state.storage.contains(key):
-            raise ParameterServerError(
-                f"replica PS node {state.node_id} received a {what} for key {key} "
-                "it does not own"
-            )
-
-    def _not_owned_error(
-        self, state: ReplicaNodeState, bad: int, what: str
-    ) -> ParameterServerError:
-        return ParameterServerError(
-            f"replica PS node {state.node_id} received a {what} for key {bad} "
-            "it does not own"
-        )
+    # ---------------------------------------------------------- server dispatch
+    def _server_dispatch(self, state: ReplicaNodeState):  # type: ignore[override]
+        cost = self.cluster.cost_model.server_processing_time
+        dispatch = {
+            PullRequest: (cost, self._handle_pull),
+            PushRequest: (cost, self._handle_push),
+        }
+        dispatch.update(self.management_policy.server_handlers(state))
+        return dispatch
 
     def _handle_pull(self, state: ReplicaNodeState, request: PullRequest) -> None:
-        try:
-            values = state.read_local_many(request.keys)
-        except StorageError:
-            bad = first_missing(state, request.keys)
-            if bad is None:
-                raise
-            raise self._not_owned_error(state, bad, "pull") from None
-        response = PullResponse(
-            op_id=request.op_id,
-            keys=request.keys,
-            values=values,
-            responder_node=state.node_id,
+        values = self.management_policy.handle_read(
+            state, request.keys, what="received a pull for"
         )
-        size = message_size(
-            len(request.keys), len(request.keys) * self.ps_config.value_length
-        )
-        self.network.send(state.node_id, request.reply_to, response, size)
+        self._respond_pull(state, request, request.keys, values)
 
     def _handle_push(self, state: ReplicaNodeState, request: PushRequest) -> None:
-        try:
-            state.write_local_many(request.keys, request.updates)
-        except StorageError:
-            bad = first_missing(state, request.keys)
-            if bad is None:
-                raise
-            raise self._not_owned_error(state, bad, "push") from None
+        self.management_policy.handle_write(
+            state, request.keys, request.updates, what="received a push for"
+        )
         for index, key in enumerate(request.keys):
             # The requester had no replica when it issued this push, so it is
             # NOT excluded: if it subscribed while the push was in flight, its
             # snapshot predates the push and the delta must reach it.
             self.enqueue_broadcast(state, key, request.updates[index])
-        if request.needs_ack:
-            ack = PushAck(
-                op_id=request.op_id, keys=request.keys, responder_node=state.node_id
-            )
-            self.network.send(
-                state.node_id, request.reply_to, ack, message_size(len(request.keys), 0)
-            )
+        self._ack_push(state, request, request.keys)
 
     def _handle_register(
         self, state: ReplicaNodeState, request: ReplicaRegisterRequest
     ) -> None:
-        try:
-            values = state.read_local_many(request.keys)
-        except StorageError:
-            bad = first_missing(state, request.keys)
-            if bad is None:
-                raise
-            raise self._not_owned_error(state, bad, "replica subscription") from None
+        values = self.management_policy.handle_read(
+            state, request.keys, what="received a replica subscription for"
+        )
         for key in request.keys:
             state.subscribers[key].add(request.requester_node)
         install = ReplicaInstall(
@@ -552,13 +484,9 @@ class ReplicaPS(ParameterServer):
         self.network.send(state.node_id, request.reply_to, install, size)
 
     def _handle_flush(self, state: ReplicaNodeState, flush: ReplicaSyncFlush) -> None:
-        try:
-            state.write_local_many(flush.keys, flush.updates)
-        except StorageError:
-            bad = first_missing(state, flush.keys)
-            if bad is None:
-                raise
-            raise self._not_owned_error(state, bad, "replica update flush") from None
+        self.management_policy.handle_write(
+            state, flush.keys, flush.updates, what="received a replica update flush for"
+        )
         for index, key in enumerate(flush.keys):
             # The source applied these updates to its own replica already.
             self.enqueue_broadcast(
@@ -608,17 +536,19 @@ class ReplicaPS(ParameterServer):
             state.metrics.replica_creates += 1
             for delta in entry.pending_deltas:
                 state.replicas[key] += delta
-            for kind, handle, update in entry.ops:
-                if kind == "pull":
+            for queued in entry.ops:
+                if queued.kind == "local_pull":
                     state.latches.acquire(key)
-                    handle.complete_keys([key], state.replicas[key].copy().reshape(1, -1))
+                    queued.handle.complete_keys(
+                        [key], state.replicas[key].copy().reshape(1, -1)
+                    )
                 else:
-                    self.apply_replica_write(state, key, update)
-                    handle.complete_keys([key])
+                    self.apply_replica_write(state, key, queued.update)
+                    queued.handle.complete_keys([key])
 
     # --------------------------------------------------------------- inspection
     def replica_holders(self, key: int) -> Tuple[int, ...]:
         """Nodes currently holding a replica of ``key`` (outside simulation)."""
-        owner = self.partitioner.node_of(key)
+        owner = self.current_owner(key)
         owner_state: ReplicaNodeState = self.states[owner]  # type: ignore[assignment]
         return tuple(sorted(owner_state.subscribers.get(key, ())))

@@ -3,7 +3,8 @@
 The *stale* PS architecture (§2.1) keeps the static parameter allocation of a
 classic PS but replicates previously-accessed parameters to the nodes that
 accessed them and tolerates bounded staleness in those replicas.  Applications
-drive synchronization with an explicit ``clock`` primitive.
+drive synchronization with an explicit ``clock`` primitive.  Freshness-aware
+routing is implemented by :class:`~repro.ps.policy.StaleReplicaPolicy`.
 
 Two synchronization strategies are implemented, mirroring the two Petuum modes
 compared in §4.5:
@@ -32,17 +33,16 @@ clocks old and writes of other workers become visible only after a flush.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Generator, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.config import message_size
-from repro.errors import ParameterServerError, StorageError
+from repro.errors import ParameterServerError
 from repro.ps.base import (
     NodeState,
     ParameterServer,
     WorkerClient,
-    first_missing,
     select_rows,
     van_address,
 )
@@ -54,6 +54,7 @@ from repro.ps.messages import (
     ReplicaPush,
     UpdateFlush,
 )
+from repro.ps.policy import ROUTE_LOCAL, ROUTE_REPLICA, StaleReplicaPolicy
 from repro.ps.storage import gather_rows
 from repro.simnet.events import Event
 
@@ -69,20 +70,18 @@ def _gather_replicas(
 
 
 class StaleNodeState(NodeState):
-    """Adds replica store, subscription table, and flush bookkeeping."""
+    """Replica store, subscription table, and flush bookkeeping.
 
-    def __init__(self, ps: "StalePS", node) -> None:
-        super().__init__(ps, node)
-        #: Replicas of remote parameters: key -> [value, fetched_at_clock].
-        self.replicas: Dict[int, List[Any]] = {}
-        #: Server side: nodes that accessed each locally-owned key (SSPPush).
-        self.subscriptions: Dict[int, Set[int]] = defaultdict(set)
-        #: Server side: number of update flushes received per clock value.
-        self.flush_counts: Dict[int, int] = defaultdict(int)
-        #: Pending flush acknowledgements: op id -> event.
-        self.pending_flush_acks: Dict[int, Event] = {}
-        #: Pending replica fetches: op id -> (handle, keys).
-        self.pending_fetches: Dict[int, Tuple[OperationHandle, Tuple[int, ...]]] = {}
+    The tables are installed by
+    :meth:`repro.ps.policy.StaleReplicaPolicy.attach`; the annotations below
+    document them.
+    """
+
+    replicas: Dict[int, List[Any]]
+    subscriptions: Dict[int, Set[int]]
+    flush_counts: Dict[int, int]
+    pending_flush_acks: Dict[int, Event]
+    pending_fetches: Dict[int, Tuple[OperationHandle, Tuple[int, ...]]]
 
 
 class StaleWorkerClient(WorkerClient):
@@ -100,19 +99,17 @@ class StaleWorkerClient(WorkerClient):
         state = self.state
         metrics = state.metrics
         cost = self.ps.cluster.cost_model
-        staleness = self.ps.ps_config.staleness_bound
         local_keys: List[int] = []
         replica_keys: List[int] = []
         fetch_groups: Dict[int, List[int]] = defaultdict(list)
-        owners = self.ps.partitioner.nodes_of_list(keys)
-        fresh_after = self._clock - staleness
-        for key, owner in zip(keys, owners):
-            if owner == self.node_id:
+        routes = self.policy.route_many(state, keys, clock=self._clock)
+        for key, route in zip(keys, routes):
+            if route.kind == ROUTE_LOCAL:
                 local_keys.append(key)
-            elif key in state.replicas and state.replicas[key][1] >= fresh_after:
+            elif route.kind == ROUTE_REPLICA:
                 replica_keys.append(key)
             else:
-                fetch_groups[owner].append(key)
+                fetch_groups[route.destination].append(key)
         if local_keys:
             metrics.key_reads_local += len(local_keys)
             delay = cost.interthread_access_latency * len(local_keys)
@@ -143,8 +140,7 @@ class StaleWorkerClient(WorkerClient):
     def _send_fetch(
         self, handle: OperationHandle, owner: int, keys: List[int]
     ) -> None:
-        chunks = [keys] if self.ps.ps_config.message_grouping else [[k] for k in keys]
-        for chunk in chunks:
+        for chunk in self._chunks(keys):
             op_id = self.ps.next_op_id()
             self.state.pending_fetches[op_id] = (handle, tuple(chunk))
             request = ReplicaFetchRequest(
@@ -170,19 +166,19 @@ class StaleWorkerClient(WorkerClient):
         metrics = state.metrics
         cost = self.ps.cluster.cost_model
         delay = cost.interthread_access_latency * len(keys)
-        owner_list = self.ps.partitioner.nodes_of_list(keys)
+        routes = self.policy.route_many(state, keys, write=True, clock=self._clock)
         local_keys = [
-            key for key, owner in zip(keys, owner_list) if owner == self.node_id
+            key for key, route in zip(keys, routes) if route.kind == ROUTE_LOCAL
         ]
         local_rows = [
-            index for index, owner in enumerate(owner_list) if owner == self.node_id
+            index for index, route in enumerate(routes) if route.kind == ROUTE_LOCAL
         ]
 
         def action() -> None:
             if local_keys:
                 state.write_local_many(local_keys, select_rows(updates, local_rows))
-            for index, (key, owner) in enumerate(zip(keys, owner_list)):
-                if owner == self.node_id:
+            for index, (key, route) in enumerate(zip(keys, routes)):
+                if route.kind == ROUTE_LOCAL:
                     metrics.key_writes_local += 1
                     continue
                 update = updates[index]
@@ -257,6 +253,7 @@ class StalePS(ParameterServer):
     """Petuum-style stale parameter server with SSP / SSPPush synchronization."""
 
     client_class = StaleWorkerClient
+    policy_class = StaleReplicaPolicy
     name = "stale"
 
     def _make_node_state(self, node) -> StaleNodeState:
@@ -267,34 +264,13 @@ class StalePS(ParameterServer):
         """Whether server-based synchronization (SSPPush) is enabled."""
         return self.ps_config.stale_server_push
 
-    # ------------------------------------------------------------ server loop
-    def _server_loop(self, state: StaleNodeState) -> Generator:  # type: ignore[override]
-        cost = self.cluster.cost_model
-        while True:
-            message = yield state.node.server_inbox.get()
-            yield cost.server_processing_time
-            if isinstance(message, ReplicaFetchRequest):
-                self._handle_fetch(state, message)
-            elif isinstance(message, UpdateFlush):
-                self._handle_flush(state, message)
-            elif isinstance(message, ReplicaPush):
-                self._handle_replica_push(state, message)
-            else:
-                raise ParameterServerError(
-                    f"stale PS server on node {state.node_id} received unexpected "
-                    f"message {message!r}"
-                )
+    # ---------------------------------------------------------- server dispatch
+    def _server_dispatch(self, state: StaleNodeState):  # type: ignore[override]
+        # All stale-PS message types belong to the stale-replica policy.
+        return dict(self.management_policy.server_handlers(state))
 
     def _handle_fetch(self, state: StaleNodeState, request: ReplicaFetchRequest) -> None:
-        try:
-            values = state.read_local_many(request.keys)
-        except StorageError:
-            bad = first_missing(state, request.keys)
-            if bad is None:
-                raise
-            raise ParameterServerError(
-                f"stale PS node {state.node_id} asked for key {bad} it does not own"
-            ) from None
+        values = self.management_policy.handle_read(state, request.keys)
         if self.server_push:
             for key in request.keys:
                 state.subscriptions[key].add(request.requester_node)
@@ -310,16 +286,9 @@ class StalePS(ParameterServer):
 
     def _handle_flush(self, state: StaleNodeState, flush: UpdateFlush) -> None:
         if flush.keys:
-            try:
-                state.write_local_many(flush.keys, flush.updates)
-            except StorageError:
-                bad = first_missing(state, flush.keys)
-                if bad is None:
-                    raise
-                raise ParameterServerError(
-                    f"stale PS node {state.node_id} received an update for key {bad} "
-                    "it does not own"
-                ) from None
+            self.management_policy.handle_write(
+                state, flush.keys, flush.updates, what="received an update for"
+            )
         if flush.reply_to is not None:
             ack = FlushAck(
                 op_id=flush.op_id, clock=flush.clock, responder_node=state.node_id
@@ -334,7 +303,7 @@ class StalePS(ParameterServer):
     def _record_clock_arrival(self, state: StaleNodeState, clock: int) -> None:
         state.flush_counts[clock] += 1
         if state.flush_counts[clock] == self.cluster.total_workers and self.server_push:
-            self._push_replicas(state, clock)
+            self.management_policy.on_sync(state, clock)
 
     def _push_replicas(self, state: StaleNodeState, clock: int) -> None:
         """SSPPush: send fresh values of all subscribed keys to every subscriber."""

@@ -16,7 +16,14 @@ from repro.experiments import (
     speedup,
 )
 from repro.experiments.scenarios import epoch_time, matrix_factorization_scenario
-from repro.ps import ClassicIPCPS, ClassicSharedMemoryPS, LapsePS, ReplicaPS, StalePS
+from repro.ps import (
+    ClassicIPCPS,
+    ClassicSharedMemoryPS,
+    HybridPS,
+    LapsePS,
+    ReplicaPS,
+    StalePS,
+)
 
 TINY_MF = MFScale(num_rows=24, num_cols=16, num_entries=120, rank=4, compute_time_per_entry=1e-6)
 TINY_KGE = KGEScale(num_entities=30, num_relations=4, num_triples=40, entity_dim=2,
@@ -44,6 +51,9 @@ class TestMakeParameterServer:
         assert replica.ps_config.replica_sync_trigger == "time"
         assert isinstance(replica_clock, ReplicaPS)
         assert replica_clock.ps_config.replica_sync_trigger == "clock"
+        hybrid = make_parameter_server("hybrid", cluster, config)
+        assert isinstance(hybrid, HybridPS)
+        assert hybrid.ps_config.hot_key_threshold > 1
 
     def test_unknown_system_rejected(self):
         cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
@@ -55,7 +65,7 @@ class TestMakeParameterServer:
 class TestRunners:
     @pytest.mark.parametrize(
         "system",
-        ["classic", "classic_fast_local", "lapse", "stale_ssp", "lowlevel", "replica", "replica_clock"],
+        ["classic", "classic_fast_local", "lapse", "stale_ssp", "lowlevel", "replica", "replica_clock", "hybrid"],
     )
     def test_mf_runs_on_every_system(self, system):
         result = run_mf_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_MF)
@@ -65,7 +75,7 @@ class TestRunners:
         assert result.parallelism == "2x1"
 
     @pytest.mark.parametrize(
-        "system", ["classic_fast_local", "lapse", "lapse_clustering_only", "replica"]
+        "system", ["classic_fast_local", "lapse", "lapse_clustering_only", "replica", "hybrid"]
     )
     def test_kge_runs(self, system):
         result = run_kge_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_KGE)
@@ -76,7 +86,7 @@ class TestRunners:
         result = run_kge_experiment("lapse", num_nodes=1, workers_per_node=1, model="rescal", scale=TINY_KGE)
         assert result.task == "kge_rescal"
 
-    @pytest.mark.parametrize("system", ["lapse", "replica"])
+    @pytest.mark.parametrize("system", ["lapse", "replica", "hybrid"])
     def test_w2v_runs(self, system):
         result = run_w2v_experiment(system, num_nodes=2, workers_per_node=1, scale=TINY_W2V)
         assert result.task == "word2vec"

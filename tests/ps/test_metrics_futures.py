@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.config import ClusterConfig, ParameterServerConfig
 from repro.errors import ParameterServerError
+from repro.ps import ClassicSharedMemoryPS, LapsePS
 from repro.ps.futures import OperationHandle, wait_all
 from repro.ps.metrics import PSMetrics, RunningStat
 from repro.simnet import Simulator
@@ -151,3 +153,122 @@ class TestOperationHandle:
         sim.process(completer())
         finished = sim.run_process(waiter())
         assert finished == pytest.approx(3.0)
+
+    def test_wait_all_over_already_completed_handles(self):
+        """wait_all must not block when every handle finished beforehand."""
+        sim = Simulator()
+        handles = [OperationHandle(sim, "push", [k], 1) for k in range(3)]
+        for handle in handles:
+            handle.complete_keys(handle.keys)
+        assert all(handle.done for handle in handles)
+
+        def waiter():
+            yield wait_all(sim, handles)
+            return sim.now
+
+        finished = sim.run_process(waiter())
+        assert finished == pytest.approx(0.0)
+
+    def test_wait_all_empty_iterable(self):
+        sim = Simulator()
+
+        def waiter():
+            yield wait_all(sim, [])
+            return sim.now
+
+        assert sim.run_process(waiter()) == pytest.approx(0.0)
+
+    def test_client_wait_all_over_completed_handles(self):
+        """The WorkerClient.wait_all generator path with done handles."""
+        cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
+        ps = ClassicSharedMemoryPS(
+            cluster, ParameterServerConfig(num_keys=4, value_length=2)
+        )
+
+        def worker(client, worker_id):
+            handles = [client.push_async([k], np.ones((1, 2))) for k in range(3)]
+            yield from client.wait_all(handles)
+            assert all(handle.done for handle in handles)
+            # A second wait over the same (now completed) handles returns
+            # without yielding any pending event.
+            yield from client.wait_all(handles)
+            return client.sim.now
+
+        results = ps.run_workers(worker)
+        assert results[0] > 0.0
+
+    def test_fail_then_complete_does_not_untrigger(self):
+        """Double-completion protection: completing after fail keeps the failure."""
+        sim = Simulator()
+        handle = OperationHandle(sim, "push", [1], value_length=1)
+        handle.fail(ParameterServerError("boom"))
+        failed_at = handle.completed_at
+        handle.complete_keys([1])
+        assert handle.completed_at == failed_at
+
+        def waiter():
+            yield handle.completion_event
+            return None
+
+        with pytest.raises(ParameterServerError, match="boom"):
+            sim.run_process(waiter())
+
+    def test_fail_after_completion_is_ignored(self):
+        sim = Simulator()
+        handle = OperationHandle(sim, "pull", [1], value_length=1)
+        handle.complete_keys([1], np.array([[7.0]]))
+        completed_at = handle.completed_at
+        handle.fail(ParameterServerError("too late"))
+        sim.run()
+        assert handle.completed_at == completed_at
+        np.testing.assert_allclose(handle.value(), [7.0])
+
+    def test_completion_event_fires_once_for_duplicates(self):
+        sim = Simulator()
+        handle = OperationHandle(sim, "push", [1, 2], value_length=1)
+        fired = []
+        handle.completion_event.callbacks.append(lambda _evt: fired.append(sim.now))
+        handle.complete_keys([1])
+        handle.complete_keys([2])
+        handle.complete_keys([1])  # duplicate after full completion
+        handle.complete_keys([2])
+        sim.run()
+        assert len(fired) == 1
+
+
+class TestZeroKeyOperations:
+    """Every primitive rejects an empty key list up front."""
+
+    @pytest.fixture()
+    def classic_ps(self):
+        cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
+        return ClassicSharedMemoryPS(
+            cluster, ParameterServerConfig(num_keys=4, value_length=2)
+        )
+
+    @pytest.fixture()
+    def lapse_ps(self):
+        cluster = ClusterConfig(num_nodes=1, workers_per_node=1)
+        return LapsePS(cluster, ParameterServerConfig(num_keys=4, value_length=2))
+
+    def test_zero_key_pull_and_push_rejected(self, classic_ps):
+        client = classic_ps.client(0, 0)
+        with pytest.raises(ParameterServerError, match="at least one key"):
+            client.pull_async([])
+        with pytest.raises(ParameterServerError, match="at least one key"):
+            client.push_async([], np.zeros((0, 2)))
+        # Generators inherit the check on their first step.
+        with pytest.raises(ParameterServerError, match="at least one key"):
+            next(client.pull([]))
+
+    def test_zero_key_pull_rejected_for_iterators(self, classic_ps):
+        client = classic_ps.client(0, 0)
+        with pytest.raises(ParameterServerError, match="at least one key"):
+            client.pull_async(iter([]))
+        with pytest.raises(ParameterServerError, match="at least one key"):
+            client.pull_async(np.array([], dtype=np.int64))
+
+    def test_zero_key_localize_rejected(self, lapse_ps):
+        client = lapse_ps.client(0, 0)
+        with pytest.raises(ParameterServerError, match="at least one key"):
+            client.localize_async([])
