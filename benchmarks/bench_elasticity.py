@@ -1,0 +1,165 @@
+"""Elasticity benchmark: epoch-time disruption and rebalance traffic per system.
+
+The paper's outlook (§7) argues that dynamic parameter allocation makes a
+parameter server adaptable at run time; the elastic cluster runtime
+(``repro.cluster``) realizes that claim.  This benchmark runs one full
+elastic lifecycle of the MF workload — baseline epochs, a node *joining
+mid-epoch*, a graceful *drain*, and an injected *failure* — for three
+parameter-management strategies and reports, per system:
+
+* epoch times around each membership event (the *disruption* of elasticity),
+* rebalance traffic (keys migrated, relocation messages, time-to-rebalance),
+* recovery outcome (keys recovered from replicas vs. keys lost).
+
+Expected shape:
+
+* the static **classic** PS cannot rebalance: a join adds only workers (its
+  accesses stay remote), a drained node keeps serving keys forever, and a
+  failure would be unrecoverable;
+* **lapse** (relocation) absorbs joins and drains — the post-join epoch is
+  strictly faster than both its own baseline and the classic PS — but a
+  failure loses every key the failed node owned (exactly one copy exists);
+* the **hybrid** matches lapse's elasticity and, with standby replicas
+  provisioned, recovers *all* keys of the failed node (0 lost).
+
+Every run also asserts **determinism**: the same seed must reproduce the
+rebalanced run bit-identically (simulated times and message/byte counts).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_elasticity.py            # full run
+    PYTHONPATH=src python benchmarks/bench_elasticity.py --smoke    # CI-sized run
+"""
+
+import json
+import os
+import platform
+import sys
+
+from benchmark_utils import REPO_ROOT, WORKERS_PER_NODE, make_arg_parser
+
+from repro.experiments import MFScale, format_table
+from repro.experiments.scenarios import ELASTIC_SCALING_SYSTEMS, elastic_scaling_scenario
+
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_ELASTICITY.json")
+
+#: CI-sized lifecycle: compute-heavy enough that the join's extra workers
+#: outweigh the extra subepoch synchronization.
+SMOKE_SCALE = MFScale(
+    num_rows=150, num_cols=24, num_entries=3000, rank=4, compute_time_per_entry=25e-6
+)
+#: Full-size lifecycle (same shape, more data and keys).
+FULL_SCALE = MFScale(
+    num_rows=320, num_cols=48, num_entries=9000, rank=8, compute_time_per_entry=25e-6
+)
+
+TABLE_COLUMNS = (
+    "system",
+    "baseline_epoch_s",
+    "join_epoch_s",
+    "post_join_epoch_s",
+    "drain_epoch_s",
+    "post_drain_epoch_s",
+    "post_failure_epoch_s",
+    "rebalanced_keys",
+    "mean_rebalance_time_s",
+    "relocations",
+    "recovered_keys",
+    "lost_keys",
+    "drain_node_state",
+)
+
+
+def run_lifecycle(scale, seed):
+    return elastic_scaling_scenario(
+        systems=ELASTIC_SCALING_SYSTEMS,
+        scale=scale,
+        seed=seed,
+        workers_per_node=WORKERS_PER_NODE,
+    )
+
+
+def row_of(rows, system):
+    return next(row for row in rows if row["system"] == system)
+
+
+def assert_shape(rows):
+    """The acceptance shape of the elasticity subsystem (see module docstring)."""
+    classic = row_of(rows, "classic")
+    lapse = row_of(rows, "lapse")
+    hybrid = row_of(rows, "hybrid")
+    # A mid-epoch join strictly reduces the post-join epoch time for the DPA
+    # systems — against the static classic PS and against their own baseline.
+    for row in (lapse, hybrid):
+        assert row["post_join_epoch_s"] < classic["post_join_epoch_s"], row["system"]
+        assert row["post_join_epoch_s"] < row["baseline_epoch_s"], row["system"]
+        assert row["rebalanced_keys"] > 0, row["system"]
+        assert row["drain_node_state"] == "left", row["system"]
+    # The classic PS cannot rebalance: nothing moves, drains never finish.
+    assert classic["rebalanced_keys"] == 0
+    assert classic["drain_node_state"] == "draining"
+    # Failure: hybrid recovers everything from replicas, lapse loses the keys.
+    assert hybrid["lost_keys"] == 0 and hybrid["recovered_keys"] > 0
+    assert lapse["recovered_keys"] == 0 and lapse["lost_keys"] > 0
+
+
+def assert_determinism(scale, seed):
+    """Same seed => bit-identical rebalanced run (sim times, message counts)."""
+    first = run_lifecycle(scale, seed)
+    second = run_lifecycle(scale, seed)
+    for row_a, row_b in zip(first, second):
+        assert row_a == row_b, (
+            f"elastic run of {row_a['system']!r} is not deterministic: "
+            f"{row_a} != {row_b}"
+        )
+    return first
+
+
+def main(argv=None):
+    parser = make_arg_parser(__doc__.splitlines()[0], default_out=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+
+    print("elastic lifecycle (determinism-checked) ...", flush=True)
+    rows = assert_determinism(scale, args.seed)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=TABLE_COLUMNS,
+            title="Elastic cluster lifecycle: join mid-epoch, drain, failure",
+        )
+    )
+    assert_shape(rows)
+
+    classic, lapse, hybrid = (row_of(rows, s) for s in ("classic", "lapse", "hybrid"))
+    print()
+    print(
+        f"  post-join epoch: lapse {lapse['post_join_epoch_s'] * 1e3:.2f} ms, "
+        f"hybrid {hybrid['post_join_epoch_s'] * 1e3:.2f} ms, "
+        f"classic {classic['post_join_epoch_s'] * 1e3:.2f} ms "
+        f"({classic['post_join_epoch_s'] / lapse['post_join_epoch_s']:.1f}x slower)"
+    )
+    print(
+        f"  failure: hybrid recovered {hybrid['recovered_keys']} keys "
+        f"(0 lost), lapse lost {lapse['lost_keys']}"
+    )
+
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "seed": args.seed,
+        "workers_per_node": WORKERS_PER_NODE,
+        "determinism": "ok",
+        "rows": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,6 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke    # CI-sized run
 """
 
-import argparse
 import json
 import os
 import platform
@@ -39,7 +38,7 @@ import time
 
 import numpy as np
 
-import benchmark_utils  # noqa: F401  (inserts src/ into sys.path)
+from benchmark_utils import REPO_ROOT, make_arg_parser
 
 from repro.config import ClusterConfig, ParameterServerConfig
 from repro.experiments.runner import (
@@ -55,7 +54,6 @@ from repro.ps.classic import ClassicSharedMemoryPS
 from repro.ps.storage import DenseStorage, SparseStorage
 from repro.simnet import Simulator
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PERF.json")
 
 
@@ -312,7 +310,7 @@ def bench_kernel(num_yields, repeats):
 
 
 # ------------------------------------------------------------------ end to end
-def bench_end_to_end(smoke, repeats):
+def bench_end_to_end(smoke, repeats, seed=0):
     """Wall-clock per epoch for the paper workloads across PS variants."""
     if smoke:
         mf_scale = MFScale(num_rows=64, num_cols=32, num_entries=2000)
@@ -327,13 +325,13 @@ def bench_end_to_end(smoke, repeats):
     runs = []
     for system in ("classic", "lapse", "stale_ssp", "replica", "hybrid"):
         runs.append(("matrix_factorization", system, mf_scale.num_entries, lambda s=system: run_mf_experiment(
-            s, num_nodes=2, workers_per_node=2, scale=mf_scale, epochs=epochs)))
+            s, num_nodes=2, workers_per_node=2, scale=mf_scale, epochs=epochs, seed=seed)))
     for system in ("classic", "lapse", "replica", "hybrid"):
         runs.append(("kge_complex", system, kge_scale.num_triples, lambda s=system: run_kge_experiment(
-            s, num_nodes=2, workers_per_node=2, scale=kge_scale, epochs=epochs)))
+            s, num_nodes=2, workers_per_node=2, scale=kge_scale, epochs=epochs, seed=seed)))
     for system in ("classic", "lapse", "stale_ssp", "replica", "hybrid"):
         runs.append(("word2vec", system, w2v_scale.num_sentences, lambda s=system: run_w2v_experiment(
-            s, num_nodes=2, workers_per_node=2, scale=w2v_scale, epochs=epochs)))
+            s, num_nodes=2, workers_per_node=2, scale=w2v_scale, epochs=epochs, seed=seed)))
     results = []
     for task, system, steps_per_epoch, fn in runs:
         seconds, result = _best_of(fn, repeats)
@@ -361,17 +359,7 @@ def bench_end_to_end(smoke, repeats):
 
 # ------------------------------------------------------------------------ main
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI-sized run: small workloads, fewer repeats, full parity checks",
-    )
-    parser.add_argument(
-        "--output",
-        default=DEFAULT_OUTPUT,
-        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
-    )
+    parser = make_arg_parser(__doc__.splitlines()[0], default_out=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
     repeats = 2 if args.smoke else 5
@@ -390,7 +378,7 @@ def main(argv=None):
     print("kernel event throughput ...", flush=True)
     kernel = bench_kernel(kernel_yields, repeats)
     print("end-to-end workloads ...", flush=True)
-    end_to_end = bench_end_to_end(args.smoke, repeats=1 if args.smoke else 2)
+    end_to_end = bench_end_to_end(args.smoke, repeats=1 if args.smoke else 2, seed=args.seed)
 
     report = {
         "schema": 1,
@@ -403,10 +391,10 @@ def main(argv=None):
         "kernel": kernel,
         "end_to_end": end_to_end,
     }
-    with open(args.output, "w") as handle:
+    with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {args.out}")
 
     for kind in ("dense", "sparse"):
         for op in ("get", "add", "set"):

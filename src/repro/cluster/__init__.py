@@ -1,0 +1,46 @@
+"""Elastic cluster runtime: node join/leave, DPA-driven rebalancing, failures.
+
+The paper observes (§7) that dynamic parameter allocation opens the door to
+runtime adaptivity beyond classic static clusters.  This subsystem realizes
+that: a :class:`Membership` manager tracks node lifecycle states
+(joining/active/draining/failed/left), a scripted :class:`ClusterSchedule`
+injects join/drain/fail events at simulated times, the :class:`Rebalancer`
+migrates key ownership through the *existing* relocation protocol (§3.2) with
+home duties reassigned via the versioned
+:class:`~repro.ps.partition.ElasticPartitioner`, and :class:`ElasticCluster`
+drives it all while a workload runs — including failure recovery from
+replicas under the hybrid policy, which combines the relocation machinery
+(to re-home a failed node's keys) with replicas (to restore their values);
+pure relocation instead counts the keys as lost.
+"""
+
+from repro.cluster.membership import (
+    ACTIVE,
+    DRAINING,
+    FAILED,
+    JOINING,
+    LEFT,
+    STATES,
+    Membership,
+)
+from repro.cluster.rebalancer import RebalanceOperation, Rebalancer
+from repro.cluster.runtime import ElasticCluster
+from repro.cluster.schedule import DRAIN, FAIL, JOIN, ClusterEvent, ClusterSchedule
+
+__all__ = [
+    "ACTIVE",
+    "DRAIN",
+    "DRAINING",
+    "FAIL",
+    "FAILED",
+    "JOIN",
+    "JOINING",
+    "LEFT",
+    "STATES",
+    "ClusterEvent",
+    "ClusterSchedule",
+    "ElasticCluster",
+    "Membership",
+    "RebalanceOperation",
+    "Rebalancer",
+]

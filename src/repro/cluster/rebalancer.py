@@ -1,0 +1,286 @@
+"""Membership-driven key rebalancing and failure recovery.
+
+The :class:`Rebalancer` translates membership events into parameter movement:
+
+* **join** — the versioned :class:`~repro.ps.partition.ElasticPartitioner`
+  computes the joining node's balanced key share (movement-minimizing: keys
+  move only *to* the new node); home duties for those keys are handed over on
+  the control plane, and ownership migrates through the *existing* relocation
+  protocol (§3.2) — the rebalancer simply acts as one more localize requester
+  on behalf of the new node, so every ``ManagementPolicy.on_relocate`` hook
+  (queue draining, hybrid subscriber handoff, metrics) applies unchanged.
+* **drain** — the partitioner drops the node from the active set; every key
+  the drainee still owns is relocated to that key's (new) home node.  Because
+  applications keep localizing while the drain is in flight, the runtime
+  re-sweeps at epoch boundaries until the node owns nothing.
+* **fail** — the failed node's keys are re-homed (which requires a
+  relocation-capable policy); each key that a surviving node replicates
+  (the hybrid policy) is *recovered*: the holder ships
+  its copy to the new owner in a :class:`~repro.ps.messages.RecoveryInstall`,
+  which also hands over broadcast duties for the remaining replica holders.
+  Keys without a surviving replica are *lost*: re-initialized to zeros and
+  counted in :attr:`~repro.ps.metrics.PSMetrics.lost_keys` — the price of
+  pure relocation, which keeps exactly one copy of every parameter.
+
+Modeling note: home-table handoff and membership bookkeeping are applied
+atomically at event time (a configuration-service control plane); all
+*parameter data* moves through real simulated messages.  Requests that were
+in flight across the epoch bump are tolerated by the stale-location
+forwarding of :meth:`repro.ps.lapse.LapsePS.process_localize_at_home`,
+exactly as §3.5 tolerates stale location caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.membership import ACTIVE, DRAINING, JOINING, Membership
+from repro.config import message_size
+from repro.errors import ClusterError
+from repro.ps.futures import OperationHandle
+from repro.ps.lapse import RelocatingKey
+from repro.ps.messages import RecoveryInstall
+from repro.ps.partition import ElasticPartitioner
+
+
+@dataclass
+class RebalanceOperation:
+    """One in-flight rebalance: the data movement triggered by a membership event.
+
+    ``handle`` completes when every migrated key is installed at its target
+    (``None`` when the event moved no data).
+    """
+
+    kind: str
+    node: int
+    started_at: float
+    handle: Optional[OperationHandle] = None
+    moved_keys: int = 0
+    recovered_keys: int = 0
+    lost_keys: int = 0
+
+    @property
+    def done(self) -> bool:
+        """Whether all data movement of this operation has completed."""
+        return self.handle is None or self.handle.done
+
+
+class Rebalancer:
+    """Migrates key ownership when the cluster membership changes."""
+
+    def __init__(self, ps: Any, membership: Membership) -> None:
+        self.ps = ps
+        self.membership = membership
+
+    # ----------------------------------------------------------- capabilities
+    @property
+    def supports_rebalance(self) -> bool:
+        """Whether this PS can migrate ownership (relocation + elastic partitioner)."""
+        return (
+            self.ps.management_policy.supports_rebalance
+            and isinstance(self.ps.partitioner, ElasticPartitioner)
+        )
+
+    @property
+    def supports_replica_recovery(self) -> bool:
+        """Whether failed keys can be restored from surviving replicas."""
+        return self.ps.management_policy.supports_replica_recovery
+
+    # ---------------------------------------------------------------- helpers
+    def _eligible_owners(self) -> List[int]:
+        """Nodes the partitioner may assign keys to (joining + active)."""
+        return self.membership.nodes_in(JOINING, ACTIVE)
+
+    def owned_keys(self, node: int) -> List[int]:
+        """Keys currently owned by ``node`` (via the location tables)."""
+        ps = self.ps
+        keys = np.arange(ps.ps_config.num_keys, dtype=np.int64)
+        return keys[ps.current_owners(keys) == node].tolist()
+
+    def _rebalance_partitioner(self) -> List[Tuple[int, int, int]]:
+        """Recompute the home assignment for the current eligible set."""
+        partitioner: ElasticPartitioner = self.ps.partitioner
+        eligible = self._eligible_owners()
+        if eligible == partitioner.active_nodes:
+            return []
+        return partitioner.rebalance(eligible)
+
+    def _handoff_homes(self, moves: List[Tuple[int, int, int]]) -> None:
+        """Move home-table entries to the new home nodes (control plane).
+
+        The location *data* (key -> current owner) is preserved; only the node
+        responsible for serving it changes.  In-flight localize requests that
+        still target the old home are forwarded along the new assignment.
+        """
+        states = self.ps.states
+        for key, old_home, new_home in moves:
+            owner = states[old_home].home_location.pop(key)
+            states[new_home].home_location[key] = owner
+
+    def _relocate_to_homes(
+        self, targets: Dict[int, List[int]], now: float
+    ) -> Tuple[Optional[OperationHandle], int]:
+        """Relocate key groups to their home nodes via the relocation protocol.
+
+        Returns the completion handle (``None`` if nothing moved) and the
+        number of keys whose migration was initiated.
+        """
+        ps = self.ps
+        all_keys = sorted(key for keys in targets.values() for key in keys)
+        if not all_keys:
+            return None, 0
+        handle = OperationHandle(ps.sim, "rebalance", all_keys, ps.ps_config.value_length)
+        moved = 0
+        for target in sorted(targets):
+            target_state = ps.states[target]
+            fresh: List[int] = []
+            for key in sorted(targets[target]):
+                if target_state.storage.contains(key):
+                    # Already where it belongs; nothing to move.
+                    handle.complete_keys([key])
+                    continue
+                entry = target_state.relocating_in.get(key)
+                if entry is not None:
+                    # An application localize is already pulling the key in;
+                    # piggyback on it instead of racing it.
+                    entry.localize_handles.append(handle)
+                    moved += 1
+                    continue
+                target_state.relocating_in[key] = RelocatingKey(
+                    key=key, requested_at=now, localize_handles=[handle]
+                )
+                fresh.append(key)
+                moved += 1
+            if fresh:
+                target_state.metrics.rebalanced_keys += len(fresh)
+                ps.process_localize_at_home(target_state, tuple(fresh), requester=target)
+        if moved == 0 and not handle.done:  # pragma: no cover - defensive
+            handle.complete_keys(all_keys)
+        return handle, moved
+
+    # ------------------------------------------------------------------- join
+    def rebalance_for_join(self, node: int, now: float) -> RebalanceOperation:
+        """Give a joining node its balanced key share (home duty + ownership)."""
+        operation = RebalanceOperation(kind="join", node=node, started_at=now)
+        if not self.supports_rebalance:
+            # Static/replicated allocation: the new node contributes workers
+            # but cannot take over keys.
+            return operation
+        moves = self._rebalance_partitioner()
+        self._handoff_homes(moves)
+        targets: Dict[int, List[int]] = {}
+        for key, _old_home, new_home in moves:
+            targets.setdefault(new_home, []).append(key)
+        self.ps.states[node].metrics.rebalance_rounds += 1
+        operation.handle, operation.moved_keys = self._relocate_to_homes(targets, now)
+        return operation
+
+    # ------------------------------------------------------------------ drain
+    def rebalance_for_drain(self, node: int, now: float) -> RebalanceOperation:
+        """Move everything off a draining node (also the boundary re-sweep)."""
+        operation = RebalanceOperation(kind="drain", node=node, started_at=now)
+        if not self.supports_rebalance:
+            # A static allocation cannot shed the node's keys: it keeps
+            # serving them (forever "draining") — the classic-PS inelasticity.
+            return operation
+        moves = self._rebalance_partitioner()
+        self._handoff_homes(moves)
+        partitioner: ElasticPartitioner = self.ps.partitioner
+        targets: Dict[int, List[int]] = {}
+        for key in self.owned_keys(node):
+            targets.setdefault(partitioner.node_of(key), []).append(key)
+        self.ps.states[node].metrics.rebalance_rounds += 1
+        operation.handle, operation.moved_keys = self._relocate_to_homes(targets, now)
+        return operation
+
+    # ---------------------------------------------------------------- failure
+    def recover_after_failure(self, node: int, now: float) -> RebalanceOperation:
+        """Re-home a failed node's keys; recover from replicas or declare lost."""
+        ps = self.ps
+        if not self.supports_rebalance:
+            raise ClusterError(
+                f"cannot recover the keys of failed node {node}: the "
+                f"{ps.management_policy.name} policy does not support "
+                "rebalancing, and recovery must re-home the failed keys "
+                "(only relocation-capable policies can)"
+            )
+        operation = RebalanceOperation(kind="fail", node=node, started_at=now)
+        # New owners must be eligible (joining/active); replica *sources* may
+        # also be draining nodes — alive and connected, their replicas are
+        # released only once their drain completes.
+        replica_sources = self.membership.nodes_in(JOINING, ACTIVE, DRAINING)
+        # 1) Home duties held by the failed node move to survivors (the
+        #    control plane mirrors location tables, so they survive the crash).
+        moves = self._rebalance_partitioner()
+        self._handoff_homes(moves)
+        # 2) Scrub the failed node from replication bookkeeping on survivors.
+        if self.supports_replica_recovery:
+            for survivor in replica_sources:
+                state = ps.states[survivor]
+                for subscriber_set in state.subscribers.values():
+                    subscriber_set.discard(node)
+                state.broadcast_buffer.pop(node, None)
+        # 3) Every key the failed node owned is recovered or lost.
+        partitioner: ElasticPartitioner = self.ps.partitioner
+        value_length = ps.ps_config.value_length
+        recovery_groups: Dict[Tuple[int, int], List[Tuple[int, Tuple[int, ...]]]] = {}
+        pending: List[int] = []
+        for key in self.owned_keys(node):
+            target = partitioner.node_of(key)
+            target_state = ps.states[target]
+            target_state.home_location[key] = target
+            holders: List[int] = []
+            if self.supports_replica_recovery:
+                holders = [
+                    survivor
+                    for survivor in replica_sources
+                    if key in getattr(ps.states[survivor], "replicas", {})
+                ]
+            if holders:
+                source = holders[0]
+                if key not in target_state.relocating_in:
+                    # Piggyback on an in-flight application localize if one
+                    # exists (its handles drain with the recovery install).
+                    target_state.relocating_in[key] = RelocatingKey(
+                        key=key, requested_at=now
+                    )
+                recovery_groups.setdefault((source, target), []).append(
+                    (key, tuple(holders))
+                )
+                pending.append(key)
+                operation.recovered_keys += 1
+            else:
+                target_state.storage.insert(key, np.zeros(value_length))
+                target_state.metrics.lost_keys += 1
+                operation.lost_keys += 1
+        # 4) Surviving holders ship their copies to the new owners.
+        if pending:
+            handle = OperationHandle(ps.sim, "rebalance", sorted(pending), value_length)
+            operation.handle = handle
+            operation.moved_keys = len(pending)
+            for (source, target), entries in sorted(recovery_groups.items()):
+                source_state = ps.states[source]
+                keys = tuple(key for key, _holders in entries)
+                for key in keys:
+                    ps.states[target].relocating_in[key].localize_handles.append(handle)
+                values = np.stack(
+                    [np.array(source_state.replicas[key], dtype=np.float64) for key in keys]
+                )
+                for key in keys:
+                    # The snapshot subsumes the holder's unflushed updates.
+                    source_state.pending_updates.pop(key, None)
+                install = RecoveryInstall(
+                    keys=keys,
+                    values=values,
+                    source_node=source,
+                    failed_node=node,
+                    subscribers=tuple(holders for _key, holders in entries),
+                )
+                ps.send_to_server(
+                    source, target, install, message_size(len(keys), values.size)
+                )
+        ps.states[node].metrics.rebalance_rounds += 1
+        return operation

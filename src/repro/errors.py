@@ -62,3 +62,9 @@ class DataGenerationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment scenario is misconfigured."""
+
+
+class ClusterError(ReproError):
+    """Raised for invalid elastic-cluster operations (membership, schedules,
+    rebalancing) — e.g. an illegal lifecycle transition or an event targeting
+    a node outside the cluster's capacity."""

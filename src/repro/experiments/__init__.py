@@ -21,14 +21,18 @@ from repro.experiments.runner import (
     MFScale,
     TaskRunResult,
     W2VScale,
+    make_elastic_mf,
     make_parameter_server,
+    run_elastic_mf_experiment,
     run_kge_experiment,
     run_mf_experiment,
     run_w2v_experiment,
 )
 from repro.experiments.scenarios import (
     DEFAULT_PARALLELISM,
+    ELASTIC_SCALING_SYSTEMS,
     REPLICATION_COMPARISON_SYSTEMS,
+    elastic_scaling_scenario,
     kge_scenario,
     matrix_factorization_scenario,
     replication_comparison_scenario,
@@ -37,6 +41,7 @@ from repro.experiments.scenarios import (
 
 __all__ = [
     "DEFAULT_PARALLELISM",
+    "ELASTIC_SCALING_SYSTEMS",
     "KGEScale",
     "MANAGEMENT_COUNTERS",
     "MFScale",
@@ -44,13 +49,16 @@ __all__ = [
     "SYSTEMS",
     "TaskRunResult",
     "W2VScale",
+    "elastic_scaling_scenario",
     "format_table",
     "kge_scenario",
+    "make_elastic_mf",
     "make_parameter_server",
     "matrix_factorization_scenario",
     "merge_metrics",
     "metrics_rows",
     "replication_comparison_scenario",
+    "run_elastic_mf_experiment",
     "run_kge_experiment",
     "run_mf_experiment",
     "run_w2v_experiment",

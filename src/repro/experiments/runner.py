@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.cluster import ClusterSchedule, ElasticCluster
 from repro.config import ClusterConfig, CostModel, ParameterServerConfig
 from repro.data import generate_corpus, generate_knowledge_graph, generate_matrix
 from repro.errors import ExperimentError
@@ -67,6 +68,7 @@ from repro.ps import (
 )
 from repro.ps.base import ParameterServer
 from repro.ps.metrics import PSMetrics
+from repro.ps.partition import ElasticPartitioner, KeyPartitioner
 
 #: Systems compared across the evaluation (see module docstring).
 SYSTEMS = (
@@ -94,22 +96,36 @@ def make_parameter_server(
     system: str,
     cluster: ClusterConfig,
     ps_config: ParameterServerConfig,
+    partitioner: Optional[KeyPartitioner] = None,
 ) -> ParameterServer:
-    """Instantiate the PS variant named ``system`` on ``cluster``."""
+    """Instantiate the PS variant named ``system`` on ``cluster``.
+
+    ``partitioner`` optionally overrides the default range partitioner — the
+    elastic experiments pass an :class:`~repro.ps.partition.ElasticPartitioner`
+    restricted to the initially active nodes.
+    """
     if system == "classic":
-        return ClassicIPCPS(cluster, ps_config)
+        return ClassicIPCPS(cluster, ps_config, partitioner=partitioner)
     if system == "classic_fast_local":
-        return ClassicSharedMemoryPS(cluster, ps_config)
+        return ClassicSharedMemoryPS(cluster, ps_config, partitioner=partitioner)
     if system in ("lapse", "lapse_clustering_only"):
-        return LapsePS(cluster, ps_config)
+        return LapsePS(cluster, ps_config, partitioner=partitioner)
     if system == "stale_ssp":
-        return StalePS(cluster, replace(ps_config, stale_server_push=False))
+        return StalePS(
+            cluster, replace(ps_config, stale_server_push=False), partitioner=partitioner
+        )
     if system == "stale_ssppush":
-        return StalePS(cluster, replace(ps_config, stale_server_push=True))
+        return StalePS(
+            cluster, replace(ps_config, stale_server_push=True), partitioner=partitioner
+        )
     if system == "replica":
-        return ReplicaPS(cluster, replace(ps_config, replica_sync_trigger="time"))
+        return ReplicaPS(
+            cluster, replace(ps_config, replica_sync_trigger="time"), partitioner=partitioner
+        )
     if system == "replica_clock":
-        return ReplicaPS(cluster, replace(ps_config, replica_sync_trigger="clock"))
+        return ReplicaPS(
+            cluster, replace(ps_config, replica_sync_trigger="clock"), partitioner=partitioner
+        )
     if system == "hybrid":
         # Threshold > 1 so that one-off reads stay relocatable: only keys a
         # node keeps coming back to are replicated there.
@@ -121,6 +137,7 @@ def make_parameter_server(
                 hot_key_policy="access_count",
                 hot_key_threshold=HYBRID_HOT_KEY_THRESHOLD,
             ),
+            partitioner=partitioner,
         )
     raise ExperimentError(f"unknown system {system!r}")
 
@@ -307,6 +324,92 @@ def run_kge_experiment(
     epoch_results = trainer.train(num_epochs=epochs, compute_loss=compute_loss)
     return TaskRunResult(
         task=f"kge_{model}",
+        system=system,
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        epochs=epoch_results,
+        metrics=ps.metrics(),
+        remote_messages=ps.network.stats.remote_messages,
+        bytes_sent=ps.network.stats.bytes_sent,
+    )
+
+
+# ------------------------------------------------------------ elastic clusters
+def make_elastic_mf(
+    system: str,
+    num_nodes: int,
+    initial_nodes: Optional[Sequence[int]] = None,
+    schedule: Optional[ClusterSchedule] = None,
+    scale: Optional[MFScale] = None,
+    workers_per_node: int = PAPER_WORKERS_PER_NODE,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+):
+    """Build an elastic matrix-factorization run: ``(elastic, trainer)``.
+
+    ``num_nodes`` is the cluster *capacity*; ``initial_nodes`` (default: all)
+    are active at start, the rest is reserve that a scheduled ``join`` can
+    bring in.  The PS is built over an
+    :class:`~repro.ps.partition.ElasticPartitioner` restricted to the initial
+    nodes, so reserve nodes hold no keys until they join.
+
+    Drive epochs with ``elastic.run_epoch(trainer, compute_loss=...)``.
+    """
+    if system == "lowlevel":
+        raise ExperimentError("the low-level baseline does not support elastic clusters")
+    scale = scale or MFScale()
+    matrix = generate_matrix(
+        scale.num_rows, scale.num_cols, scale.num_entries, rank=scale.rank, seed=seed
+    )
+    cluster = _cluster(num_nodes, workers_per_node, seed, cost_model)
+    ps_config = ParameterServerConfig(num_keys=scale.num_cols, value_length=scale.rank)
+    partitioner = ElasticPartitioner(
+        scale.num_cols, num_nodes, active_nodes=initial_nodes, kind="range"
+    )
+    ps = make_parameter_server(system, cluster, ps_config, partitioner=partitioner)
+    elastic = ElasticCluster(ps, initial_nodes=initial_nodes, schedule=schedule)
+    mf_config = MatrixFactorizationConfig(
+        rank=scale.rank, compute_time_per_entry=scale.compute_time_per_entry
+    )
+    trainer = MatrixFactorizationTrainer(ps, matrix, mf_config, seed=seed)
+    return elastic, trainer
+
+
+def run_elastic_mf_experiment(
+    system: str,
+    num_nodes: int,
+    initial_nodes: Optional[Sequence[int]] = None,
+    schedule: Optional[ClusterSchedule] = None,
+    scale: Optional[MFScale] = None,
+    workers_per_node: int = PAPER_WORKERS_PER_NODE,
+    epochs: int = 1,
+    compute_loss: bool = False,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> TaskRunResult:
+    """Elastic counterpart of :func:`run_mf_experiment`.
+
+    Runs the same DSGD workload while the scripted ``schedule`` joins, drains,
+    or fails nodes.  With an empty schedule and a full initial node set the
+    run is bit-identical to :func:`run_mf_experiment` (asserted by the
+    test-suite).
+    """
+    elastic, trainer = make_elastic_mf(
+        system,
+        num_nodes=num_nodes,
+        initial_nodes=initial_nodes,
+        schedule=schedule,
+        scale=scale,
+        workers_per_node=workers_per_node,
+        seed=seed,
+        cost_model=cost_model,
+    )
+    epoch_results = [
+        elastic.run_epoch(trainer, compute_loss=compute_loss) for _ in range(epochs)
+    ]
+    ps = elastic.ps
+    return TaskRunResult(
+        task="matrix_factorization",
         system=system,
         num_nodes=num_nodes,
         workers_per_node=workers_per_node,

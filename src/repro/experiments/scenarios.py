@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     MFScale,
     TaskRunResult,
     W2VScale,
+    make_elastic_mf,
     run_kge_experiment,
     run_mf_experiment,
     run_w2v_experiment,
@@ -170,6 +171,122 @@ def replication_comparison_scenario(
             workers_per_node=workers_per_node,
         )
     raise ExperimentError(f"unknown task {task!r} (expected 'mf', 'kge', or 'w2v')")
+
+
+#: Systems compared by the elastic scaling scenario: the inelastic static
+#: baseline vs. relocation (Lapse) vs. the hybrid (which adds replicas the
+#: failure path can recover from).
+ELASTIC_SCALING_SYSTEMS = ("classic", "lapse", "hybrid")
+
+
+def elastic_scaling_scenario(
+    systems: Sequence[str] = ELASTIC_SCALING_SYSTEMS,
+    scale: Optional[MFScale] = None,
+    seed: int = 0,
+    workers_per_node: int = 2,
+    capacity: int = 3,
+    initial_nodes: Sequence[int] = (0, 1),
+    join_node: int = 2,
+    drain_node: int = 1,
+    inject_failure: bool = True,
+) -> List[Dict[str, object]]:
+    """One full elastic lifecycle per system on the MF workload.
+
+    Phases (one epoch each): **baseline** on the initial nodes; **join** —
+    ``join_node`` joins mid-epoch (the rebalancer migrates its key share via
+    the relocation protocol while training runs); **post-join** with the
+    grown cluster; **drain** — ``drain_node`` starts a graceful drain
+    mid-epoch; **post-drain** without it; and, when ``inject_failure`` is set
+    and the policy can recover, a **failure** phase: standby replicas are
+    provisioned (:meth:`~repro.cluster.ElasticCluster.ensure_backups`),
+    ``join_node`` crashes, and a final epoch runs on what is left.
+
+    Under the hybrid policy the failure loses nothing (all keys are recovered
+    from replicas); under pure relocation every key the failed node owned is
+    lost; the static classic PS cannot rebalance at all — its join adds only
+    workers, and its drained node keeps serving keys forever.
+    """
+    if not systems:
+        raise ExperimentError("at least one system is required")
+    rows = []
+    for system in systems:
+        rows.append(
+            _elastic_lifecycle_row(
+                system,
+                scale=scale,
+                seed=seed,
+                workers_per_node=workers_per_node,
+                capacity=capacity,
+                initial_nodes=initial_nodes,
+                join_node=join_node,
+                drain_node=drain_node,
+                inject_failure=inject_failure,
+            )
+        )
+    return rows
+
+
+def _elastic_lifecycle_row(
+    system: str,
+    scale: Optional[MFScale],
+    seed: int,
+    workers_per_node: int,
+    capacity: int,
+    initial_nodes: Sequence[int],
+    join_node: int,
+    drain_node: int,
+    inject_failure: bool,
+) -> Dict[str, object]:
+    elastic, trainer = make_elastic_mf(
+        system,
+        num_nodes=capacity,
+        initial_nodes=initial_nodes,
+        scale=scale,
+        workers_per_node=workers_per_node,
+        seed=seed,
+    )
+    ps = elastic.ps
+
+    def epoch() -> float:
+        return elastic.run_epoch(trainer, compute_loss=False).duration
+
+    baseline = epoch()
+    elastic.join_at(ps.simulated_time + 0.5 * baseline, join_node)
+    join_epoch = epoch()
+    post_join = epoch()
+    elastic.drain_at(ps.simulated_time + 0.5 * post_join, drain_node)
+    drain_epoch = epoch()
+    post_drain = epoch()
+    post_failure: object = ""
+    recovered: object = ""
+    lost: object = ""
+    can_fail = inject_failure and elastic.rebalancer.supports_rebalance
+    if can_fail:
+        elastic.ensure_backups()
+        elastic.fail_at(ps.simulated_time, join_node)
+        post_failure = epoch()
+        recovered = elastic.recovered_keys
+        lost = elastic.lost_keys
+    metrics = ps.metrics()
+    return {
+        "system": system,
+        "baseline_epoch_s": baseline,
+        "join_epoch_s": join_epoch,
+        "post_join_epoch_s": post_join,
+        "drain_epoch_s": drain_epoch,
+        "post_drain_epoch_s": post_drain,
+        "post_failure_epoch_s": post_failure,
+        "rebalanced_keys": metrics.rebalanced_keys,
+        "mean_rebalance_time_s": metrics.rebalance_time.mean,
+        "relocations": metrics.relocations,
+        "recovered_keys": recovered,
+        "lost_keys": lost,
+        "remote_messages": ps.network.stats.remote_messages,
+        "bytes_sent": ps.network.stats.bytes_sent,
+        "dropped_messages": ps.network.stats.dropped_messages,
+        "drain_node_state": elastic.membership.state_of(drain_node),
+        "sim_time_s": ps.simulated_time,
+    }
 
 
 def epoch_time(rows: List[Dict[str, object]], system: str, parallelism: str) -> float:

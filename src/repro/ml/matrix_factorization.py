@@ -18,7 +18,7 @@ stale PS a clock advance per subepoch refreshes the replicas.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,12 +63,28 @@ class MatrixFactorizationConfig:
             raise ExperimentError("compute_time_per_entry must be non-negative")
 
 
+@dataclass(frozen=True)
+class _EpochPlan:
+    """Work assignment for one epoch at a given worker count.
+
+    The elastic cluster runtime runs epochs with whatever workers are active
+    at the time; data and blocks are (re)partitioned per participant count.
+    Plans are cached, and with a static cluster the single cached plan is
+    identical to the pre-elastic fixed assignment.
+    """
+
+    schedule: BlockSchedule
+    entries: Dict[Tuple[int, int], "np.ndarray"]
+
+
 class MatrixFactorizationTrainer:
     """Runs DSGD matrix factorization epochs on a parameter server.
 
     The same trainer runs on every PS variant: it localizes blocks when the PS
     supports it, advances the clock on the stale PS, and otherwise relies on
-    plain pull/push.
+    plain pull/push.  :meth:`run_epoch` optionally takes the subset of worker
+    clients that participate (elastic clusters), re-partitioning data and
+    blocks for that worker count.
     """
 
     def __init__(
@@ -93,34 +109,47 @@ class MatrixFactorizationTrainer:
                 f"the PS value length must equal the rank ({self.config.rank}), "
                 f"got {ps.ps_config.value_length}"
             )
-        self.schedule = BlockSchedule(num_workers=num_workers)
+        self._plans: Dict[int, _EpochPlan] = {}
+        self.schedule = self._plan(num_workers).schedule
         rng = np.random.default_rng(derive_seed(seed, 101))
         #: Worker-local row factors (each worker touches only its own rows).
         self.row_factors = rng.normal(0.0, self.config.init_scale, size=(matrix.num_rows, self.config.rank))
         self._epochs_run = 0
-        self._partition_entries()
         self._initialize_column_factors(rng)
 
     # ------------------------------------------------------------ preparation
-    def _partition_entries(self) -> None:
+    def _plan(self, num_workers: int) -> _EpochPlan:
+        """Return (and cache) the work assignment for ``num_workers`` workers."""
+        plan = self._plans.get(num_workers)
+        if plan is None:
+            schedule = BlockSchedule(num_workers=num_workers)
+            plan = _EpochPlan(schedule=schedule, entries=self._partition_entries(schedule))
+            self._plans[num_workers] = plan
+        return plan
+
+    def _partition_entries(self, schedule: BlockSchedule):
         """Index matrix entries by (worker row block, column block)."""
-        num_workers = self.ps.cluster.total_workers
+        num_workers = schedule.num_workers
         matrix = self.matrix
         rows_per_worker = int(np.ceil(matrix.num_rows / num_workers))
-        self._row_block_of = np.minimum(matrix.rows // max(1, rows_per_worker), num_workers - 1)
+        row_block_of = np.minimum(matrix.rows // max(1, rows_per_worker), num_workers - 1)
         column_blocks = np.array(
-            [self._column_block_of(col) for col in range(matrix.num_cols)], dtype=np.int64
+            [
+                self._column_block_of(col, schedule.num_blocks)
+                for col in range(matrix.num_cols)
+            ],
+            dtype=np.int64,
         )
         entry_col_blocks = column_blocks[matrix.cols]
-        self._entries: Dict[Tuple[int, int], np.ndarray] = {}
+        entries: Dict[Tuple[int, int], np.ndarray] = {}
         for worker in range(num_workers):
-            worker_mask = self._row_block_of == worker
-            for block in range(self.schedule.num_blocks):
+            worker_mask = row_block_of == worker
+            for block in range(schedule.num_blocks):
                 mask = worker_mask & (entry_col_blocks == block)
-                self._entries[(worker, block)] = np.flatnonzero(mask)
+                entries[(worker, block)] = np.flatnonzero(mask)
+        return entries
 
-    def _column_block_of(self, col: int) -> int:
-        num_blocks = self.schedule.num_blocks
+    def _column_block_of(self, col: int, num_blocks: int) -> int:
         base = self.matrix.num_cols // num_blocks
         remainder = self.matrix.num_cols % num_blocks
         threshold = remainder * (base + 1)
@@ -146,24 +175,41 @@ class MatrixFactorizationTrainer:
             results.append(self.run_epoch(compute_loss=compute_loss))
         return results
 
-    def run_epoch(self, compute_loss: bool = True) -> EpochResult:
-        """Run one full DSGD epoch (``num_workers`` subepochs)."""
+    def run_epoch(
+        self, compute_loss: bool = True, clients: Optional[Sequence] = None
+    ) -> EpochResult:
+        """Run one full DSGD epoch (one subepoch per participating worker).
+
+        Args:
+            compute_loss: Evaluate the training RMSE after the epoch.
+            clients: Optional subset of worker clients that participate (the
+                elastic runtime passes the workers of currently active nodes);
+                defaults to every worker in the cluster.
+        """
+        clients = list(clients) if clients is not None else self.ps.clients()
+        plan = self._plan(len(clients))
+        participant_of = {client.worker_id: index for index, client in enumerate(clients)}
+
+        def worker_fn(client, worker_id: int) -> Generator:
+            return self._worker_epoch(client, participant_of[worker_id], plan)
+
         epoch = self._epochs_run
         start_time = self.ps.simulated_time
-        self.ps.run_workers(self._worker_epoch)
+        self.ps.run_workers(worker_fn, clients=clients)
         duration = self.ps.simulated_time - start_time
         self._epochs_run += 1
         loss = self.training_rmse() if compute_loss else None
         return EpochResult(epoch=epoch, duration=duration, end_time=self.ps.simulated_time, loss=loss)
 
-    def _worker_epoch(self, client, worker_id: int) -> Generator:
+    def _worker_epoch(self, client, participant: int, plan: _EpochPlan) -> Generator:
         config = self.config
         matrix = self.matrix
-        for subepoch in range(self.schedule.num_subepochs):
-            block = self.schedule.block_for(worker_id, subepoch)
-            block_keys = keys_of_block(block, matrix.num_cols, self.schedule.num_blocks)
+        schedule = plan.schedule
+        for subepoch in range(schedule.num_subepochs):
+            block = schedule.block_for(participant, subepoch)
+            block_keys = keys_of_block(block, matrix.num_cols, schedule.num_blocks)
             yield from maybe_localize(client, block_keys)
-            entry_indices = self._entries[(worker_id, block)]
+            entry_indices = plan.entries[(participant, block)]
             for index in entry_indices:
                 row = int(matrix.rows[index])
                 col = int(matrix.cols[index])

@@ -44,6 +44,7 @@ from repro.ps.policy import (
 )
 from repro.ps.partition import (
     AccessCountHotKeyPolicy,
+    ElasticPartitioner,
     ExplicitHotKeyPolicy,
     ExplicitPartitioner,
     HashPartitioner,
@@ -66,6 +67,7 @@ __all__ = [
     "ClassicSharedMemoryPS",
     "DenseStorage",
     "EagerReplicationPolicy",
+    "ElasticPartitioner",
     "ExplicitHotKeyPolicy",
     "ExplicitPartitioner",
     "HotKeyPolicy",

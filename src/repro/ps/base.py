@@ -488,6 +488,15 @@ class ParameterServer:
     name: str = "base"
 
     _management_policy: Optional[Any] = None
+    #: Cluster membership record, attached by the elastic cluster runtime
+    #: (:class:`repro.cluster.ElasticCluster`).  ``None`` for static clusters.
+    membership: Optional[Any] = None
+    #: Simulation driver installed by the elastic runtime (fires scheduled
+    #: membership events while the simulation runs).  ``None`` -> plain run.
+    _elastic_driver: Optional[Any] = None
+    #: Barrier quorum override (the elastic runtime shrinks/grows it with the
+    #: participating worker set).  ``None`` -> all configured workers.
+    _barrier_expected: Optional[int] = None
 
     def __init__(
         self,
@@ -584,6 +593,7 @@ class ParameterServer:
         self,
         worker_fn: Callable[[WorkerClient, int], Generator],
         until: Optional[float] = None,
+        clients: Optional[Sequence[WorkerClient]] = None,
     ) -> List[Any]:
         """Spawn one process per worker from ``worker_fn`` and run the simulation.
 
@@ -591,17 +601,20 @@ class ParameterServer:
             worker_fn: Called as ``worker_fn(client, worker_id)``; must return a
                 generator (the worker's simulated behaviour).
             until: Optional simulated-time cutoff.
+            clients: Optional subset of clients to run (elastic clusters run
+                only the workers of currently active nodes); defaults to every
+                worker in the cluster.
 
         Returns:
-            The return values of all workers, ordered by worker id.
+            The return values of all spawned workers, in ``clients`` order.
         """
         processes = []
-        for client in self.clients():
+        for client in clients if clients is not None else self.clients():
             generator = worker_fn(client, client.worker_id)
             processes.append(
                 self.sim.process(generator, name=f"worker-{client.worker_id}")
             )
-        self.sim.run(until=until)
+        self._run_simulation(until=until, processes=processes)
         results = []
         for process in processes:
             if not process.processed:
@@ -614,7 +627,17 @@ class ParameterServer:
 
     def run(self, until: Optional[float] = None) -> float:
         """Run the simulation (used when worker processes were started manually)."""
-        return self.sim.run(until=until)
+        return self._run_simulation(until=until)
+
+    def _run_simulation(
+        self, until: Optional[float] = None, processes: Optional[List[Any]] = None
+    ) -> float:
+        """Advance the simulation; the elastic runtime hooks in here to fire
+        scheduled membership events at their simulated times."""
+        driver = self._elastic_driver
+        if driver is None:
+            return self.sim.run(until=until)
+        return driver.drive(until=until, processes=processes)
 
     # ------------------------------------------------------------------ owners
     def current_owner(self, key: int) -> int:
@@ -810,9 +833,21 @@ class ParameterServer:
         )
 
     # ------------------------------------------------------------- coordinator
+    @property
+    def barrier_size(self) -> int:
+        """Workers that must arrive to release a barrier.
+
+        Defaults to every configured worker; the elastic cluster runtime
+        overrides it (via ``_barrier_expected``) to the participating worker
+        set of the current epoch, so barriers keep working while nodes join
+        and leave.
+        """
+        if self._barrier_expected is not None:
+            return self._barrier_expected
+        return self.cluster.total_workers
+
     def _coordinator_loop(self) -> Generator:
         arrivals: Dict[int, List[BarrierArrive]] = {}
-        total = self.cluster.total_workers
         while True:
             message = yield self._coordinator_inbox.get()
             if not isinstance(message, BarrierArrive):
@@ -821,7 +856,7 @@ class ParameterServer:
                 )
             generation_list = arrivals.setdefault(message.generation, [])
             generation_list.append(message)
-            if len(generation_list) == total:
+            if len(generation_list) == self.barrier_size:
                 # Release every node that has waiters for this generation.
                 nodes_to_release = sorted({arrive.node for arrive in generation_list})
                 for node in nodes_to_release:

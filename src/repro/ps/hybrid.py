@@ -477,12 +477,39 @@ class HybridPS(LapsePS, ReplicaPS):
         index: int,
         key: int,
     ) -> None:
-        """New owner takes over the subscriber set handed over by the old one."""
+        """New owner takes over the subscriber set handed over by the old one.
+
+        If the new owner itself replicated the key (possible only for
+        rebalancer-driven relocations — application localizes of replicated
+        keys complete without moving), the replica is absorbed: the
+        transferred value is authoritative, and the node's unflushed replica
+        updates will reach it through the node's own (now self-addressed)
+        sync flush.
+        """
+        state.replicas.pop(key, None)
         if transfer.subscribers:
             handed_over = set(transfer.subscribers[index])
             handed_over.discard(state.node_id)
             if handed_over:
                 state.subscribers[key].update(handed_over)
+
+    def _install_recovered(self, state: HybridNodeState, install, index, key) -> None:
+        """Recovery handoff: the new owner absorbs its own replica (if any) and
+        takes over broadcast duties for the surviving replica holders.
+
+        The recovery source's unflushed updates are part of the shipped
+        snapshot (the rebalancer clears its pending buffer); every *other*
+        holder keeps its pending updates and flushes them to the new owner
+        through the rebalanced home routing, so no surviving local write is
+        double-counted or dropped.  Only updates the failed owner had received
+        but not yet broadcast are lost with it.
+        """
+        state.replicas.pop(key, None)
+        if install.subscribers:
+            survivors = set(install.subscribers[index])
+            survivors.discard(state.node_id)
+            if survivors:
+                state.subscribers[key].update(survivors)
 
     # ----------------------------------------------------------- queue drains
     def _drain_one(self, state: HybridNodeState, key: int, queued: QueuedOp) -> None:

@@ -49,6 +49,7 @@ from repro.ps.base import (
     WorkerClient,
     copy_rows,
     select_rows,
+    van_address,
 )
 from repro.ps.futures import OperationHandle
 from repro.ps.messages import (
@@ -58,6 +59,7 @@ from repro.ps.messages import (
     PullResponse,
     PushAck,
     PushRequest,
+    RecoveryInstall,
     RelocateInstruction,
     RelocationTransfer,
 )
@@ -492,21 +494,50 @@ class LapsePS(ParameterServer):
         Updates the location table immediately and instructs the current owner
         of every key to hand it over.  Keys already owned by the requester are
         acknowledged without a transfer.
+
+        Two elastic-cluster tolerances (no-ops on static clusters):
+
+        * a localize for a key whose home moved to another node while the
+          request was in flight (a rebalance bumped the partitioner epoch) is
+          *forwarded* to the current home — the stale-location tolerance of
+          §3.5, applied to home reassignment instead of caches;
+        * a requester that is draining, failed, or has left the cluster must
+          not (re)acquire keys: its localize completes without moving anything
+          (subsequent accesses route remotely).
         """
+        membership = self.membership
+        if membership is not None and not membership.may_own(requester):
+            self._acknowledge_local_keys(home_state, list(keys), requester)
+            return
         instruction_groups: Dict[int, List[int]] = defaultdict(list)
+        forward_groups: Dict[int, List[int]] = defaultdict(list)
         ack_keys: List[int] = []
         for key in keys:
-            if self.home_node(key) != home_state.node_id:
-                raise RelocationError(
-                    f"node {home_state.node_id} received a localize request for key "
-                    f"{key}, whose home is node {self.home_node(key)}"
-                )
+            home = self.home_node(key)
+            if home != home_state.node_id:
+                if key in home_state.home_location:
+                    raise RelocationError(
+                        f"node {home_state.node_id} received a localize request for "
+                        f"key {key}, whose home is node {home}"
+                    )
+                # The home duty for this key was handed to another node while
+                # the request was in flight; forward along the new assignment.
+                forward_groups[home].append(key)
+                continue
             current_owner = home_state.home_location[key]
             if current_owner == requester:
                 ack_keys.append(key)
                 continue
             home_state.home_location[key] = requester
             instruction_groups[current_owner].append(key)
+        for home, home_keys in forward_groups.items():
+            home_state.metrics.forwarded_ops += 1
+            forwarded = LocalizeRequest(
+                op_id=self.next_op_id(), keys=tuple(home_keys), requester_node=requester
+            )
+            self.send_to_server(
+                home_state.node_id, home, forwarded, message_size(len(home_keys), 0)
+            )
         if ack_keys:
             self._acknowledge_local_keys(home_state, ack_keys, requester)
         for old_owner, owner_keys in instruction_groups.items():
@@ -638,6 +669,34 @@ class LapsePS(ParameterServer):
     ) -> None:
         """Extra installation work per transferred key (hybrid: subscribers)."""
 
+    def _handle_recovery(self, state: LapseNodeState, install: RecoveryInstall) -> None:
+        """Install keys recovered from a surviving replica after an owner failed.
+
+        The elastic runtime re-homes a failed node's keys and, for every key
+        some surviving node replicates, has that holder ship its copy to the
+        new owner.  Installation mirrors a relocation transfer: queued
+        operations drain in order, but the keys count as *recovered* rather
+        than relocated.
+        """
+        for index, key in enumerate(install.keys):
+            entry = state.relocating_in.pop(key, None)
+            if entry is None:
+                raise RelocationError(
+                    f"node {state.node_id} received a recovery install for key "
+                    f"{key} it does not expect"
+                )
+            state.storage.insert(key, install.values[index])
+            state.metrics.recovered_keys += 1
+            self._install_recovered(state, install, index, key)
+            for handle in entry.localize_handles:
+                handle.complete_keys([key])
+            self._drain_queue(state, key, entry)
+
+    def _install_recovered(
+        self, state: LapseNodeState, install: RecoveryInstall, index: int, key: int
+    ) -> None:
+        """Extra installation work per recovered key (hybrid: subscriber takeover)."""
+
     def _complete_requester_side(
         self, state: LapseNodeState, keys: List[int], values: Optional[np.ndarray]
     ) -> None:
@@ -657,11 +716,13 @@ class LapsePS(ParameterServer):
 
     def _drain_one(self, state: LapseNodeState, key: int, queued: QueuedOp) -> None:
         """Process one queued operation for a key that just became resident."""
+        if queued.kind in ("local_pull", "local_push") and not state.storage.contains(key):
+            # The relocation completed without the key arriving (e.g. a
+            # draining node's localize was acknowledged as a no-op by the
+            # elastic drain gate): re-route the queued operation remotely.
+            self._redirect_queued(state, key, queued)
+            return
         if queued.kind == "local_pull":
-            if not state.storage.contains(key):
-                raise RelocationError(
-                    f"queued local pull for key {key} but key is not resident"
-                )
             queued.handle.complete_keys([key], state.read_local(key).reshape(1, -1))
         elif queued.kind == "local_push":
             state.write_local(key, queued.update)
@@ -672,6 +733,31 @@ class LapsePS(ParameterServer):
             self._handle_access(state, single)
         else:  # pragma: no cover - defensive
             raise RelocationError(f"unknown queued op kind {queued.kind!r}")
+
+    def _redirect_queued(self, state: LapseNodeState, key: int, queued: QueuedOp) -> None:
+        """Send a queued worker operation to the key's best-known location."""
+        destination = self.management_policy.route_destination(state, key)
+        op_id = self.next_op_id()
+        self.register_op(op_id, queued.handle)
+        if queued.kind == "local_pull":
+            request: Any = PullRequest(
+                op_id=op_id,
+                keys=(key,),
+                requester_node=state.node_id,
+                reply_to=van_address(state.node_id),
+            )
+            size = message_size(1, 0)
+        else:
+            request = PushRequest(
+                op_id=op_id,
+                keys=(key,),
+                updates=queued.update.reshape(1, -1),
+                requester_node=state.node_id,
+                reply_to=van_address(state.node_id),
+                needs_ack=True,
+            )
+            size = message_size(1, queued.update.size)
+        self.send_to_server(state.node_id, destination, request, size)
 
     def _single_key_view(self, request: Any, key: int) -> Any:
         """Build a single-key copy of a multi-key request for queued processing."""

@@ -230,6 +230,26 @@ class ReplicaDeltaBroadcast:
     responder_node: int
 
 
+# ----------------------------------------------------------------- elastic cluster
+@dataclass(frozen=True, slots=True)
+class RecoveryInstall:
+    """Elastic runtime: a surviving replica holder ships recovered keys to their new owner.
+
+    When a node fails, the keys it owned are re-homed by the elastic
+    rebalancer; for every key that some surviving node replicates, that holder
+    sends the replica value to the key's new owner, which installs it as the
+    authoritative copy.  ``subscribers`` lists, per key, the surviving nodes
+    that still hold a replica (so the new owner takes over broadcast duties,
+    exactly like the subscriber handoff of a relocation).
+    """
+
+    keys: Tuple[int, ...]
+    values: np.ndarray
+    source_node: int
+    failed_node: int
+    subscribers: Tuple[Tuple[int, ...], ...] = ()
+
+
 # --------------------------------------------------------------------------- barrier
 @dataclass(frozen=True, slots=True)
 class BarrierArrive:

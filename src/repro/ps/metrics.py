@@ -10,7 +10,7 @@ and traffic volumes implied by the location-management strategies (Table 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, Optional
 
 
@@ -90,6 +90,17 @@ class PSMetrics:
         replica_sync_bytes: Wire bytes of flush/broadcast messages (the
             replication-maintenance traffic, the replication analogue of
             Table 3's location-management traffic).
+        rebalance_rounds: Membership-driven rebalance operations initiated by
+            the elastic cluster runtime (join/drain/failure recovery).
+        rebalanced_keys: Keys whose ownership the elastic runtime migrated to
+            this node (via the relocation protocol) during rebalancing.
+        rebalance_time: Distribution of rebalance completion times (membership
+            event -> last migrated key installed), the "time-to-rebalance" of
+            the elasticity benchmark.
+        recovered_keys: Keys this node recovered from surviving replicas after
+            another node failed.
+        lost_keys: Keys that had to be re-initialized on this node because
+            their owner failed and no surviving node held a replica.
     """
 
     pulls_local: int = 0
@@ -121,6 +132,11 @@ class PSMetrics:
     replica_broadcast_messages: int = 0
     replica_sync_keys: int = 0
     replica_sync_bytes: int = 0
+    rebalance_rounds: int = 0
+    rebalanced_keys: int = 0
+    rebalance_time: RunningStat = field(default_factory=RunningStat)
+    recovered_keys: int = 0
+    lost_keys: int = 0
 
     @property
     def pulls_total(self) -> int:
@@ -156,40 +172,21 @@ class PSMetrics:
         return self.key_reads_local / total
 
     def merge(self, other: "PSMetrics") -> "PSMetrics":
-        """Return a new :class:`PSMetrics` summing this and ``other``."""
+        """Return a new :class:`PSMetrics` summing this and ``other``.
+
+        The merge is introspective (driven by the dataclass fields), so new
+        counters participate automatically and partial metrics objects — e.g.
+        from nodes that joined late or left early — merge against the zero
+        defaults of the counters they never touched.
+        """
         merged = PSMetrics()
-        for name in (
-            "pulls_local",
-            "pulls_remote",
-            "pushes_local",
-            "pushes_remote",
-            "key_reads_local",
-            "key_reads_remote",
-            "key_writes_local",
-            "key_writes_remote",
-            "localize_calls",
-            "localized_keys",
-            "relocations",
-            "queued_ops",
-            "forwarded_ops",
-            "cache_hits",
-            "cache_misses",
-            "cache_stale",
-            "clock_advances",
-            "server_messages",
-            "replica_refreshes",
-            "replica_reads",
-            "replica_writes",
-            "replica_creates",
-            "replica_sync_rounds",
-            "replica_flush_messages",
-            "replica_broadcast_messages",
-            "replica_sync_keys",
-            "replica_sync_bytes",
-        ):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
-        merged.relocation_time = self.relocation_time.merge(other.relocation_time)
-        merged.blocking_time = self.blocking_time.merge(other.blocking_time)
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, RunningStat):
+                setattr(merged, spec.name, mine.merge(theirs))
+            else:
+                setattr(merged, spec.name, mine + theirs)
         return merged
 
     @staticmethod
@@ -201,35 +198,18 @@ class PSMetrics:
         return total
 
     def as_dict(self) -> Dict[str, float]:
-        """Return a flat dict of the scalar counters (for reporting)."""
-        return {
-            "pulls_local": self.pulls_local,
-            "pulls_remote": self.pulls_remote,
-            "pushes_local": self.pushes_local,
-            "pushes_remote": self.pushes_remote,
-            "key_reads_local": self.key_reads_local,
-            "key_reads_remote": self.key_reads_remote,
-            "key_writes_local": self.key_writes_local,
-            "key_writes_remote": self.key_writes_remote,
-            "localize_calls": self.localize_calls,
-            "localized_keys": self.localized_keys,
-            "relocations": self.relocations,
-            "mean_relocation_time": self.relocation_time.mean,
-            "mean_blocking_time": self.blocking_time.mean,
-            "queued_ops": self.queued_ops,
-            "forwarded_ops": self.forwarded_ops,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_stale": self.cache_stale,
-            "clock_advances": self.clock_advances,
-            "server_messages": self.server_messages,
-            "replica_refreshes": self.replica_refreshes,
-            "replica_reads": self.replica_reads,
-            "replica_writes": self.replica_writes,
-            "replica_creates": self.replica_creates,
-            "replica_sync_rounds": self.replica_sync_rounds,
-            "replica_flush_messages": self.replica_flush_messages,
-            "replica_broadcast_messages": self.replica_broadcast_messages,
-            "replica_sync_keys": self.replica_sync_keys,
-            "replica_sync_bytes": self.replica_sync_bytes,
-        }
+        """Return a flat dict of the scalar counters (for reporting).
+
+        Integer counters keep their field names; every :class:`RunningStat`
+        field contributes its mean under ``"mean_<field name>"`` (e.g.
+        ``mean_relocation_time``).  Introspective, so new counters appear
+        automatically.
+        """
+        result: Dict[str, float] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, RunningStat):
+                result[f"mean_{spec.name}"] = value.mean
+            else:
+                result[spec.name] = value
+        return result

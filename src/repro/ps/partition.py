@@ -18,7 +18,7 @@ and purely local: they never communicate.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -183,6 +183,142 @@ class ExplicitPartitioner(KeyPartitioner):
     def keys_of(self, node: int) -> List[int]:
         self._check_node(node)
         return np.flatnonzero(self._assignment == node).tolist()
+
+
+class ElasticPartitioner(KeyPartitioner):
+    """Versioned partitioner over the *active* subset of an elastic cluster.
+
+    A classic partitioner maps the key space onto a fixed node set; an elastic
+    cluster changes its node set at run time.  :class:`ElasticPartitioner`
+    wraps a base partitioning ``kind`` (range or hash) but applies it only to
+    the currently active nodes: ``num_nodes`` is the cluster's *capacity*
+    (reserve nodes are valid ids that simply hold no keys), and
+    :meth:`rebalance` recomputes the assignment for a new active set.
+
+    Rebalancing is *movement-minimizing*: instead of re-ranging the whole key
+    space (which would shuffle keys between nodes that did not change), every
+    surviving node keeps as many of its keys as the new balanced share allows;
+    only surplus keys — and all keys of departing nodes — move.  On a join,
+    keys move exclusively *to* the new node; on a drain/failure, exclusively
+    *away from* the departing node.
+
+    Every rebalance bumps :attr:`epoch` and retains the previous assignment
+    (:meth:`previous_node_of`), so routing layers can tolerate requests issued
+    under the previous epoch the same way Lapse tolerates stale location
+    caches (§3.5): a node that is no longer responsible forwards along the
+    current assignment instead of failing.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        num_nodes: int,
+        active_nodes: Optional[Sequence[int]] = None,
+        kind: str = "range",
+    ) -> None:
+        super().__init__(num_keys, num_nodes)
+        if kind not in ("range", "hash"):
+            raise PartitionError(f"unknown partitioner kind {kind!r}")
+        self._kind = kind
+        active = list(range(num_nodes)) if active_nodes is None else list(active_nodes)
+        self._active = self._check_active(active)
+        self.epoch = 0
+        self._assignment = self._fresh_assignment(self._active)
+        self._previous_assignment = self._assignment
+
+    # ------------------------------------------------------------- validation
+    def _check_active(self, active: Sequence[int]) -> List[int]:
+        nodes = sorted(int(node) for node in active)
+        if not nodes:
+            raise PartitionError("active node set must not be empty")
+        if len(set(nodes)) != len(nodes):
+            raise PartitionError(f"active node set contains duplicates: {nodes}")
+        for node in nodes:
+            self._check_node(node)
+        return nodes
+
+    # ------------------------------------------------------------- assignment
+    def _fresh_assignment(self, active: List[int]) -> np.ndarray:
+        base = make_partitioner(self._kind, self.num_keys, len(active))
+        keys = np.arange(self.num_keys, dtype=np.int64)
+        return np.asarray(active, dtype=np.int64)[base.nodes_of(keys)]
+
+    def _balanced_targets(self, active: List[int]) -> Dict[int, int]:
+        """Balanced per-node key quota: sizes differ by at most one key."""
+        base, remainder = divmod(self.num_keys, len(active))
+        return {
+            node: base + (1 if index < remainder else 0)
+            for index, node in enumerate(active)
+        }
+
+    @property
+    def active_nodes(self) -> List[int]:
+        """The nodes currently holding keys (sorted)."""
+        return list(self._active)
+
+    def rebalance(self, active_nodes: Sequence[int]) -> List[Tuple[int, int, int]]:
+        """Reassign the key space to ``active_nodes``, minimizing movement.
+
+        Returns the moves as ``(key, old_node, new_node)`` triples (ascending
+        by key) and bumps :attr:`epoch`.  Keys on nodes that remain active
+        stay put unless the node exceeds its new balanced quota; surplus keys
+        (the node's highest) and the keys of departing nodes are redistributed
+        to under-quota nodes in ascending node order.
+        """
+        active = self._check_active(active_nodes)
+        targets = self._balanced_targets(active)
+        active_set = set(active)
+        new_assignment = self._assignment.copy()
+        pool: List[int] = []
+        for node in sorted(set(self._active) | active_set):
+            held = np.flatnonzero(self._assignment == node)
+            if node not in active_set:
+                pool.extend(held.tolist())
+            elif held.size > targets[node]:
+                # Shed the highest keys so kept ranges stay contiguous-ish.
+                pool.extend(held[targets[node]:].tolist())
+        pool.sort()
+        cursor = 0
+        old_active = set(self._active)
+        for node in active:
+            if node in old_active:
+                held = int(np.count_nonzero(self._assignment == node))
+                kept = min(held, targets[node])
+            else:
+                kept = 0
+            deficit = targets[node] - kept
+            if deficit > 0:
+                grabbed = pool[cursor:cursor + deficit]
+                new_assignment[grabbed] = node
+                cursor += deficit
+        moved = np.flatnonzero(new_assignment != self._assignment)
+        moves = [
+            (int(key), int(self._assignment[key]), int(new_assignment[key]))
+            for key in moved
+        ]
+        self._previous_assignment = self._assignment
+        self._assignment = new_assignment
+        self._active = active
+        self.epoch += 1
+        return moves
+
+    # ----------------------------------------------------------------- lookup
+    def node_of(self, key: int) -> int:
+        self._check_key(key)
+        return int(self._assignment[key])
+
+    def nodes_of(self, keys: Sequence[int]) -> np.ndarray:
+        keys = self._check_keys_array(keys)
+        return self._assignment[keys]
+
+    def keys_of(self, node: int) -> List[int]:
+        self._check_node(node)
+        return np.flatnonzero(self._assignment == node).tolist()
+
+    def previous_node_of(self, key: int) -> int:
+        """The key's assignment in the previous epoch (stale-epoch routing)."""
+        self._check_key(key)
+        return int(self._previous_assignment[key])
 
 
 def random_key_mapping(num_keys: int, seed: int = 0) -> np.ndarray:

@@ -45,6 +45,7 @@ from repro.errors import ParameterServerError, StorageError
 from repro.ps.base import NodeState, QueuedOp, first_missing
 from repro.ps.messages import (
     LocalizeRequest,
+    RecoveryInstall,
     RelocateInstruction,
     RelocationTransfer,
     ReplicaDeltaBroadcast,
@@ -114,6 +115,15 @@ class ManagementPolicy:
     name: str = "abstract"
     #: Whether the technique implements the ``localize`` primitive (Table 2).
     supports_localize: bool = False
+    #: Whether the elastic cluster runtime can migrate key ownership under
+    #: this policy (requires the relocation protocol; static/replicated
+    #: allocations cannot shed a node's keys).
+    supports_rebalance: bool = False
+    #: Whether this policy maintains replicas on surviving nodes that failure
+    #: recovery can restore keys from.  Actually recovering additionally
+    #: requires ``supports_rebalance`` (the failed keys must be re-homed), so
+    #: only the hybrid composition recovers end-to-end.
+    supports_replica_recovery: bool = False
     #: Per-key consistency properties retained (§3.4 / Table 1): ``eventual``,
     #: ``session`` (the four client-centric guarantees), ``causal``, and
     #: ``sequential`` (for synchronous operations).
@@ -266,6 +276,7 @@ class RelocationPolicy(ManagementPolicy):
 
     name = "relocation"
     supports_localize = True
+    supports_rebalance = True
     guarantees = {
         "eventual": True,
         "session": True,
@@ -289,6 +300,7 @@ class RelocationPolicy(ManagementPolicy):
             LocalizeRequest: (cost, self._handle_localize),
             RelocateInstruction: (cost, self.on_relocate),
             RelocationTransfer: (cost, self.on_relocate),
+            RecoveryInstall: (cost, self.on_relocate),
         }
 
     def route(self, state: NodeState, key: int, *, write: bool = False) -> Route:
@@ -335,6 +347,8 @@ class RelocationPolicy(ManagementPolicy):
             self.ps._handle_instruction(state, message)
         elif isinstance(message, RelocationTransfer):
             self.ps._handle_transfer(state, message)
+        elif isinstance(message, RecoveryInstall):
+            self.ps._handle_recovery(state, message)
         else:
             super().on_relocate(state, message)
 
@@ -426,6 +440,7 @@ class EagerReplicationPolicy(ManagementPolicy):
     """
 
     name = "replication"
+    supports_replica_recovery = True
     guarantees = {
         "eventual": True,
         "session": True,
@@ -524,6 +539,8 @@ class HybridManagementPolicy(ManagementPolicy):
 
     name = "hybrid"
     supports_localize = True
+    supports_rebalance = True
+    supports_replica_recovery = True
     #: The mixed store retains only what both techniques guarantee; per-key
     #: classification is exposed via :meth:`key_guarantees`.
     guarantees = {
@@ -561,6 +578,11 @@ class HybridManagementPolicy(ManagementPolicy):
             # location cache / home node of the relocation policy.
             return self._subscribe(self.relocation.route_destination(state, key))
         return self._remote(self.relocation.route_destination(state, key))
+
+    def route_destination(self, state: NodeState, key: int) -> int:
+        """Best node to contact for a cold (non-replicated) key — delegates to
+        the relocation half (home node / location cache, §3.5)."""
+        return self.relocation.route_destination(state, key)
 
     def key_guarantees(self, key: int) -> Dict[str, bool]:
         """Table-1 classification of one key under the current policy mix.

@@ -47,6 +47,17 @@ class Simulator:
         """Number of triggered-but-unprocessed events."""
         return len(self._queue)
 
+    def peek_time(self) -> Optional[float]:
+        """Simulated time of the next queued event (None if the queue is empty).
+
+        Used by external drivers (e.g. the elastic cluster runtime) to
+        interleave control-plane actions with event processing without
+        perturbing the queue.
+        """
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
     # ------------------------------------------------------------------ events
     def event(self) -> Event:
         """Create a new untriggered :class:`Event`."""

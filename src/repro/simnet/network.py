@@ -38,6 +38,8 @@ class NetworkStats:
         local_messages: Messages delivered within a node (IPC loopback).
         bytes_sent: Total payload bytes of remote messages.
         per_channel_messages: Remote message counts keyed by (src_node, dst_node).
+        dropped_messages: Messages blackholed because their source or
+            destination node had failed (elastic cluster runtime).
     """
 
     messages_sent: int = 0
@@ -45,6 +47,7 @@ class NetworkStats:
     local_messages: int = 0
     bytes_sent: int = 0
     per_channel_messages: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    dropped_messages: int = 0
 
     def record(self, src_node: int, dst_node: int, size_bytes: int) -> None:
         """Record one message from ``src_node`` to ``dst_node``."""
@@ -84,6 +87,26 @@ class Network:
         self._mailboxes: Dict[Hashable, MessageQueue] = {}
         self._address_node: Dict[Hashable, int] = {}
         self._channel_clock: Dict[Tuple[int, int], float] = {}
+        self._failed_nodes: set = set()
+
+    # ---------------------------------------------------------- node lifecycle
+    @property
+    def failed_nodes(self) -> frozenset:
+        """Nodes whose links are down (messages to/from them are dropped)."""
+        return frozenset(self._failed_nodes)
+
+    def fail_node(self, node: int) -> None:
+        """Take ``node`` off the network: its traffic is silently dropped.
+
+        Models a crashed machine: messages already delivered stay delivered,
+        but anything sent to or from the node afterwards is blackholed and
+        counted in :attr:`NetworkStats.dropped_messages`.
+        """
+        self._failed_nodes.add(node)
+
+    def restore_node(self, node: int) -> None:
+        """Reconnect a previously failed ``node`` (tests and re-join flows)."""
+        self._failed_nodes.discard(node)
 
     # --------------------------------------------------------------- addresses
     def register(self, address: Hashable, node: int) -> MessageQueue:
@@ -138,6 +161,13 @@ class Network:
             size_bytes=size_bytes,
             sent_at=self.sim.now,
         )
+        if self._failed_nodes and (
+            src_node in self._failed_nodes or dst_node in self._failed_nodes
+        ):
+            # A failed node neither sends nor receives; the message vanishes
+            # without charging the cost model or the traffic counters.
+            self.stats.dropped_messages += 1
+            return envelope
         self.stats.record(src_node, dst_node, size_bytes)
         delay = self._delivery_delay(src_node, dst_node, size_bytes)
         deliver_at = self._fifo_delivery_time(src_node, dst_node, delay)

@@ -62,6 +62,16 @@ class Node:
         """Number of worker threads on this node."""
         return self.config.workers_per_node
 
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def alive(self) -> bool:
+        """Whether this node is still connected to the network."""
+        return self.node_id not in self.network.failed_nodes
+
+    def fail(self) -> None:
+        """Crash this node: all its subsequent traffic is dropped."""
+        self.network.fail_node(self.node_id)
+
     def worker_rng(self, local_worker: int) -> np.random.Generator:
         """Return a deterministic RNG for worker ``local_worker`` on this node."""
         if not 0 <= local_worker < self.num_workers:

@@ -225,3 +225,143 @@ def test_property_keys_of_partitions_key_space(num_keys, num_nodes):
     for node in range(num_nodes):
         all_keys.extend(part.keys_of(node))
     assert sorted(all_keys) == list(range(num_keys))
+
+
+# --------------------------------------------------------------------- elastic
+class TestElasticPartitioner:
+    def test_initial_assignment_matches_base_kind(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(20, 4)
+        base = RangePartitioner(20, 4)
+        for key in range(20):
+            assert elastic.node_of(key) == base.node_of(key)
+        assert elastic.epoch == 0
+        assert elastic.active_nodes == [0, 1, 2, 3]
+
+    def test_restricted_active_set(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(12, 4, active_nodes=[0, 2])
+        assert elastic.active_nodes == [0, 2]
+        assert set(elastic.nodes_of(list(range(12))).tolist()) == {0, 2}
+        assert elastic.keys_of(1) == []
+        assert elastic.keys_of(3) == []
+
+    def test_single_node_cluster(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(7, 1)
+        assert elastic.keys_of(0) == list(range(7))
+        assert elastic.nodes_of_list(range(7)) == [0] * 7
+        # A single-node active set inside a larger capacity works the same.
+        wide = ElasticPartitioner(7, 3, active_nodes=[0])
+        assert wide.keys_of(0) == list(range(7))
+
+    def test_empty_key_ranges_when_actives_exceed_keys(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(2, 5)
+        sizes = [len(elastic.keys_of(node)) for node in range(5)]
+        assert sum(sizes) == 2
+        assert sizes.count(0) == 3  # three nodes hold empty (but valid) ranges
+        for node in range(5):
+            assert isinstance(elastic.keys_of(node), list)
+
+    def test_join_moves_only_to_new_node(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(12, 3, active_nodes=[0, 1])
+        moves = elastic.rebalance([0, 1, 2])
+        assert elastic.epoch == 1
+        assert all(new == 2 for _key, _old, new in moves)
+        sizes = [len(elastic.keys_of(node)) for node in range(3)]
+        assert sum(sizes) == 12
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_drain_moves_only_from_departing_node(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(12, 3)
+        moves = elastic.rebalance([0, 2])
+        assert all(old == 1 for _key, old, _new in moves)
+        assert elastic.keys_of(1) == []
+        sizes = [len(elastic.keys_of(node)) for node in (0, 2)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_previous_node_of_reports_stale_epoch(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(10, 2)
+        before = {key: elastic.node_of(key) for key in range(10)}
+        moves = elastic.rebalance([0])
+        assert moves  # node 1's keys moved to node 0
+        for key in range(10):
+            assert elastic.previous_node_of(key) == before[key]
+            assert elastic.node_of(key) == 0
+
+    def test_nodes_of_vs_nodes_of_list_parity_across_epoch_bump(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(40, 4, active_nodes=[0, 1, 2])
+        keys = list(range(40))
+        small = keys[:5]  # below the pure-Python small-batch threshold
+        for _epoch in range(3):
+            assert elastic.nodes_of(keys).tolist() == elastic.nodes_of_list(keys)
+            assert elastic.nodes_of(small).tolist() == elastic.nodes_of_list(small)
+            assert [elastic.node_of(key) for key in keys] == elastic.nodes_of(keys).tolist()
+            if elastic.epoch == 0:
+                elastic.rebalance([0, 1, 2, 3])
+            else:
+                elastic.rebalance([0, 2, 3])
+
+    def test_rebalance_without_change_is_a_noop_move_list(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(10, 2)
+        assert elastic.rebalance([0, 1]) == []
+
+    def test_validation(self):
+        from repro.ps.partition import ElasticPartitioner
+
+        with pytest.raises(PartitionError):
+            ElasticPartitioner(10, 2, kind="zigzag")
+        with pytest.raises(PartitionError):
+            ElasticPartitioner(10, 2, active_nodes=[])
+        with pytest.raises(PartitionError):
+            ElasticPartitioner(10, 2, active_nodes=[0, 0])
+        with pytest.raises(PartitionError):
+            ElasticPartitioner(10, 2, active_nodes=[0, 7])
+        elastic = ElasticPartitioner(10, 2)
+        with pytest.raises(PartitionError):
+            elastic.rebalance([5])
+        with pytest.raises(PartitionError):
+            elastic.node_of(10)
+        with pytest.raises(PartitionError):
+            elastic.previous_node_of(-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_keys=st.integers(min_value=1, max_value=120),
+        capacity=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_property_rebalance_partitions_key_space(self, num_keys, capacity, data):
+        from repro.ps.partition import ElasticPartitioner
+
+        elastic = ElasticPartitioner(num_keys, capacity)
+        for _round in range(3):
+            active = data.draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=capacity - 1),
+                    min_size=1,
+                    max_size=capacity,
+                )
+            )
+            elastic.rebalance(sorted(active))
+            gathered = []
+            for node in range(capacity):
+                gathered.extend(elastic.keys_of(node))
+            assert sorted(gathered) == list(range(num_keys))
+            sizes = [len(elastic.keys_of(node)) for node in sorted(active)]
+            assert max(sizes) - min(sizes) <= 1

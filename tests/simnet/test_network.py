@@ -172,3 +172,57 @@ def test_invalid_node_id_rejected():
     network = Network(sim, config.cost_model)
     with pytest.raises(NetworkError):
         Node(sim, network, 5, config)
+
+
+# ----------------------------------------------------------- node lifecycle
+def test_failed_node_drops_incoming_messages():
+    sim, network, nodes = build_cluster()
+    network.fail_node(1)
+    assert not nodes[1].alive
+    nodes[0].send_to_server(1, "lost", 100)
+    sim.run()
+    assert network.stats.dropped_messages == 1
+    assert network.stats.messages_sent == 0
+    assert network.stats.bytes_sent == 0
+    assert sim.now == 0.0  # nothing was scheduled
+
+
+def test_failed_node_drops_outgoing_messages():
+    sim, network, nodes = build_cluster()
+    network.fail_node(0)
+    nodes[0].send_to_server(1, "from the dead", 100)
+    sim.run()
+    assert network.stats.dropped_messages == 1
+    assert network.stats.remote_messages == 0
+
+
+def test_restore_node_reconnects():
+    sim, network, nodes = build_cluster()
+    nodes[1].fail()
+    network.restore_node(1)
+    assert nodes[1].alive
+
+    def receiver():
+        payload = yield nodes[1].server_inbox.get()
+        return payload
+
+    recv = sim.process(receiver())
+    nodes[0].send_to_server(1, "hello again", 50)
+    sim.run()
+    assert recv.value == "hello again"
+    assert network.stats.dropped_messages == 0
+
+
+def test_healthy_traffic_unaffected_by_other_failures():
+    sim, network, nodes = build_cluster(num_nodes=3)
+    network.fail_node(2)
+
+    def receiver():
+        payload = yield nodes[1].server_inbox.get()
+        return payload
+
+    recv = sim.process(receiver())
+    nodes[0].send_to_server(1, "fine", 50)
+    sim.run()
+    assert recv.value == "fine"
+    assert network.stats.remote_messages == 1
