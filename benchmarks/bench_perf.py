@@ -1,4 +1,4 @@
-"""Wall-clock performance harness for the simulator's batch data path.
+"""Wall-clock performance harness for the simulator's hot paths.
 
 Unlike the figure/table benchmarks (which regenerate the paper's *simulated*
 results), this suite measures how fast the simulator itself runs on the host,
@@ -14,20 +14,33 @@ time.  It records:
   per-key read/write loop they replaced,
 * **kernel event throughput** — events processed per wall-clock second by the
   discrete-event kernel,
+* **engine comparison** — end-to-end MF wall-clock with the engine fast paths
+  (immediate-dispatch ring, event pool, van/server sinks, message coalescing,
+  fused worker steps) against the reference engine
+  (``REPRO_DISABLE_FASTPATH=1``), interleaved in one process so machine noise
+  cancels; the fast-path speedup is *asserted*, not hoped for,
 * **end-to-end workloads** — wall-clock seconds and steps per second for the
   paper's MF / KGE / W2V tasks across the classic, Lapse, stale, and replica
   parameter servers.
 
-Results are written to ``BENCH_PERF.json`` at the repository root so the perf
-trajectory is tracked in-repo.  Every run also asserts **parity**: the batch
-path must produce bit-identical results to the per-key path (this is the
-correctness guard CI runs via ``--smoke``; timings are recorded, never
-asserted, because CI machines are noisy).
+``BENCH_PERF.json`` at the repository root keeps a **run history** (schema 2):
+each invocation appends a run entry instead of overwriting, so the perf
+trajectory is tracked in-repo.  ``--compare <old.json>`` compares the end-to-
+end results of this run against the latest entry of another report and exits
+nonzero on a >20% steps-per-second regression (used by CI against the
+committed file).
+
+Every run also asserts **parity**: the batch path must produce bit-identical
+results to the per-key path, and the engine fast paths must leave simulated
+results bit-identical to the reference engine (this is the correctness guard
+CI runs via ``--smoke``; absolute timings are recorded, never asserted,
+because CI machines are noisy — only same-run *ratios* are asserted).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py            # full run
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke    # CI-sized run
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke --compare BENCH_PERF.json
 """
 
 import json
@@ -49,12 +62,26 @@ from repro.experiments.runner import (
     run_mf_experiment,
     run_w2v_experiment,
 )
-from repro.ps.base import ParameterServer
 from repro.ps.classic import ClassicSharedMemoryPS
 from repro.ps.storage import DenseStorage, SparseStorage
 from repro.simnet import Simulator
 
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PERF.json")
+
+#: Current report schema: {"schema": 2, "runs": [run entries, oldest first]}.
+SCHEMA = 2
+
+#: Run-history entries kept in BENCH_PERF.json.
+HISTORY_LIMIT = 20
+
+#: Steps-per-second regression tolerated by ``--compare`` (machine noise).
+REGRESSION_TOLERANCE = 0.20
+
+#: Same-run floors asserted for the engine fast paths on end-to-end MF.
+#: The reference engine shares the optimized message path (only the
+#: semantically delicate transforms are toggled), so these are conservative
+#: lower bounds on what the toggled transforms alone must deliver.
+ENGINE_SPEEDUP_FLOORS = {"classic": 1.1, "lapse": 3.0}
 
 
 def _best_of(fn, repeats):
@@ -146,6 +173,85 @@ def check_end_to_end_determinism():
         )
 
 
+def _run_reference_engine(fn):
+    """Run ``fn`` with the engine fast paths disabled (reference engine).
+
+    ``REPRO_DISABLE_FASTPATH`` is read at :class:`Simulator` construction
+    time, so toggling the environment variable around the run is enough.
+    """
+    previous = os.environ.get("REPRO_DISABLE_FASTPATH")
+    os.environ["REPRO_DISABLE_FASTPATH"] = "1"
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            del os.environ["REPRO_DISABLE_FASTPATH"]
+        else:
+            os.environ["REPRO_DISABLE_FASTPATH"] = previous
+
+
+def check_engine_bit_identity(scale):
+    """Assert fast-path runs are bit-identical to the reference engine."""
+    for system in DETERMINISM_SYSTEMS:
+        def run(s=system):
+            result = run_mf_experiment(
+                s, num_nodes=2, workers_per_node=2, scale=scale, epochs=1
+            )
+            return (result.epoch_duration, result.remote_messages, result.bytes_sent)
+        fast = run()
+        reference = _run_reference_engine(run)
+        _require(
+            fast == reference,
+            f"{system!r}: engine fast paths diverge from the reference engine "
+            f"(fast={fast}, reference={reference})",
+        )
+
+
+# ------------------------------------------------------------ engine speedup
+def bench_engine(scale, repeats):
+    """End-to-end MF under the fast vs reference engine, interleaved.
+
+    Interleaving the two engines inside one process makes the ratio robust
+    to machine-wide speed fluctuations, which absolute steps/s numbers are
+    not.  Asserts :data:`ENGINE_SPEEDUP_FLOORS`.
+    """
+    report = {}
+    for system in ("classic", "lapse"):
+        def run(s=system):
+            return run_mf_experiment(
+                s, num_nodes=2, workers_per_node=2, scale=scale, epochs=1
+            )
+
+        fast_best = float("inf")
+        reference_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run()
+            fast_best = min(fast_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            _run_reference_engine(run)
+            reference_best = min(reference_best, time.perf_counter() - start)
+        steps = scale.num_entries
+        speedup = reference_best / fast_best
+        report[system] = {
+            "fast_steps_per_s": steps / fast_best,
+            "reference_steps_per_s": steps / reference_best,
+            "speedup": speedup,
+        }
+        floor = ENGINE_SPEEDUP_FLOORS[system]
+        print(
+            f"  engine/{system}: fast {steps / fast_best:10,.0f} steps/s, "
+            f"reference {steps / reference_best:10,.0f} steps/s, "
+            f"speedup {speedup:.2f}x (floor {floor}x)"
+        )
+        _require(
+            speedup >= floor,
+            f"engine fast paths deliver only {speedup:.2f}x on MF {system} "
+            f"(floor {floor}x)",
+        )
+    return report
+
+
 # --------------------------------------------------------- storage microbench
 def _per_key_get(store, keys):
     # Mirrors the pre-batch server path: one copy per key, then a vstack.
@@ -157,9 +263,8 @@ def _per_key_add(store, keys, updates):
         store.add(key, updates[index])
 
 
-def _per_key_add_realloc(store, keys, updates):
-    # Mirrors the seed SparseStorage.add: a new array per update.
-    values = store._values
+def _per_key_add_realloc(values, keys, updates):
+    # Mirrors the seed SparseStorage.add: dict of rows, a new array per update.
     for index, key in enumerate(keys):
         values[key] = values[key] + updates[index]
 
@@ -179,6 +284,8 @@ def bench_storage(batch_size, value_length, repeats, rounds=8):
         store = make(num_keys, value_length, initial_keys=range(num_keys))
         keys = list(rng.permutation(num_keys)[:batch_size])
         updates = rng.normal(size=(batch_size, value_length))
+        # Seed-style dict-of-rows baseline for the sparse realloc-per-add path.
+        dict_rows = {key: np.zeros(value_length) for key in range(num_keys)}
 
         def run_batch_get():
             for _ in range(rounds):
@@ -199,7 +306,7 @@ def bench_storage(batch_size, value_length, repeats, rounds=8):
                 if dense:
                     _per_key_add(store, keys, updates)
                 else:
-                    _per_key_add_realloc(store, keys, updates)
+                    _per_key_add_realloc(dict_rows, keys, updates)
 
         def run_batch_set():
             for _ in range(rounds):
@@ -224,6 +331,16 @@ def bench_storage(batch_size, value_length, repeats, rounds=8):
             "add": _entry(per_key_add_s, batch_add_s, rounds),
             "set": _entry(per_key_set_s, batch_set_s, rounds),
         }
+    # The slab-backed sparse store must beat the seed's realloc-per-update
+    # add by a clear margin (this was the weakest batch path of the suite).
+    # Committed runs measure 2.6-2.9x; the asserted floor leaves headroom for
+    # noisy CI runners while still catching a real regression to the old
+    # ~1.3x per-row path.
+    _require(
+        report["sparse"]["add"]["speedup"] >= 2.0,
+        f"sparse add_many speedup {report['sparse']['add']['speedup']:.2f}x "
+        "is below the 2.0x floor",
+    )
     return report
 
 
@@ -357,19 +474,111 @@ def bench_end_to_end(smoke, repeats, seed=0):
     return results
 
 
+# ----------------------------------------------------------------- run history
+def load_report(path):
+    """Load a BENCH_PERF report, upgrading schema-1 files to a run list."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("schema") == SCHEMA:
+        return data
+    if "end_to_end" in data:
+        # Schema 1: a single run dict; wrap it as the sole history entry.
+        return {"schema": SCHEMA, "runs": [data]}
+    raise ValueError(f"unrecognized BENCH_PERF schema in {path}")
+
+
+def append_run(path, run):
+    """Append ``run`` to the history at ``path`` (keeping HISTORY_LIMIT)."""
+    if os.path.exists(path):
+        try:
+            report = load_report(path)
+        except (ValueError, json.JSONDecodeError) as error:
+            print(
+                f"WARNING: could not read existing history at {path} ({error}); "
+                "starting a fresh run history"
+            )
+            report = {"schema": SCHEMA, "runs": []}
+    else:
+        report = {"schema": SCHEMA, "runs": []}
+    report["runs"].append(run)
+    report["runs"] = report["runs"][-HISTORY_LIMIT:]
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def compare_reports(current_run, old, tolerance=REGRESSION_TOLERANCE):
+    """Compare end-to-end steps/s against the (pre-loaded) run ``old``.
+
+    Returns the number of regressions beyond ``tolerance``.  Pairs are
+    matched on (task, system); entries present on only one side are ignored
+    (workload sets may evolve).
+    """
+    old_rates = {
+        (entry["task"], entry["system"]): entry["steps_per_wall_second"]
+        for entry in old["end_to_end"]
+    }
+    regressions = 0
+    for entry in current_run["end_to_end"]:
+        key = (entry["task"], entry["system"])
+        old_rate = old_rates.get(key)
+        if old_rate is None or old_rate <= 0:
+            continue
+        ratio = entry["steps_per_wall_second"] / old_rate
+        marker = ""
+        if ratio < 1.0 - tolerance:
+            regressions += 1
+            marker = "  << REGRESSION"
+        print(
+            f"  compare {key[0]:>22s}/{key[1]:<10s} "
+            f"{old_rate:9.0f} -> {entry['steps_per_wall_second']:9.0f} steps/s "
+            f"({ratio:5.2f}x){marker}"
+        )
+    return regressions
+
+
 # ------------------------------------------------------------------------ main
 def main(argv=None):
     parser = make_arg_parser(__doc__.splitlines()[0], default_out=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--compare",
+        metavar="OLD_JSON",
+        default=None,
+        help="compare end-to-end steps/s against the latest run recorded in "
+        "OLD_JSON and exit nonzero on a >20%% regression",
+    )
     args = parser.parse_args(argv)
 
     repeats = 2 if args.smoke else 5
     storage_batch = 256 if args.smoke else 1024
     kernel_yields = 20_000 if args.smoke else 100_000
+    engine_scale = MFScale(num_rows=64, num_cols=32, num_entries=2000)
+
+    # Load the comparison baseline up front: --compare may point at the same
+    # file this run appends to (the committed BENCH_PERF.json).  Only runs of
+    # the same mode are comparable — smoke and full use different workload
+    # scales, so cross-mode ratios would be artifacts.
+    compare_baseline = None
+    if args.compare:
+        mode = "smoke" if args.smoke else "full"
+        candidates = [
+            entry for entry in load_report(args.compare)["runs"] if entry.get("mode") == mode
+        ]
+        if candidates:
+            compare_baseline = candidates[-1]
+        else:
+            print(
+                f"note: {args.compare} has no {mode!r}-mode run to compare against; "
+                "skipping the regression check"
+            )
 
     print("parity: batch vs per-key storage ops ...", flush=True)
     check_storage_parity()
     print("parity: end-to-end determinism ...", flush=True)
     check_end_to_end_determinism()
+    print("parity: fast paths vs reference engine ...", flush=True)
+    check_engine_bit_identity(engine_scale)
 
     print("storage microbenchmarks ...", flush=True)
     storage = bench_storage(storage_batch, 32, repeats)
@@ -377,11 +586,13 @@ def main(argv=None):
     server = bench_server(storage_batch, 32, repeats)
     print("kernel event throughput ...", flush=True)
     kernel = bench_kernel(kernel_yields, repeats)
+    print("engine fast-path speedup (interleaved fast vs reference) ...", flush=True)
+    engine = bench_engine(engine_scale, repeats=4 if args.smoke else 6)
     print("end-to-end workloads ...", flush=True)
     end_to_end = bench_end_to_end(args.smoke, repeats=1 if args.smoke else 2, seed=args.seed)
 
-    report = {
-        "schema": 1,
+    run = {
+        "schema_run": 2,
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -389,12 +600,11 @@ def main(argv=None):
         "storage": storage,
         "server": server,
         "kernel": kernel,
+        "engine": engine,
         "end_to_end": end_to_end,
     }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    report = append_run(args.out, run)
+    print(f"wrote {args.out} ({len(report['runs'])} runs in history)")
 
     for kind in ("dense", "sparse"):
         for op in ("get", "add", "set"):
@@ -410,6 +620,15 @@ def main(argv=None):
             f"({entry['per_key_us']:.0f}us -> {entry['batch_us']:.0f}us)"
         )
     print(f"  kernel: {kernel['events_per_second']:,.0f} events/s")
+
+    if compare_baseline is not None:
+        print(f"comparing against {args.compare} ...")
+        regressions = compare_reports(run, compare_baseline)
+        if regressions:
+            print(f"FAILED: {regressions} end-to-end regressions beyond "
+                  f"{REGRESSION_TOLERANCE:.0%}")
+            return 1
+        print("no end-to-end regressions beyond tolerance")
     return 0
 
 

@@ -261,18 +261,25 @@ class KGETrainer:
             negatives = rng.integers(
                 0, self.graph.num_entities, size=(len(triples), 2 * config.num_negatives)
             )
+            # Per-epoch key schedule, precomputed once: the entity-key list of
+            # every triple was previously recomputed twice per step (once for
+            # the latency-hiding announcement, once for processing).
+            entity_keys = [
+                self._triple_entity_keys(triples[index], negatives[index])
+                for index in range(len(triples))
+            ]
             use_latency_hiding = config.latency_hiding and supports_localize(self.ps)
             prelocalizer = Prelocalizer(client) if use_latency_hiding else None
             if prelocalizer is not None:
-                prelocalizer.prime(self._triple_entity_keys(triples[0], negatives[0]))
+                prelocalizer.prime(entity_keys[0])
             for index in range(len(triples)):
                 if prelocalizer is not None and index + 1 < len(triples):
-                    prelocalizer.announce(
-                        self._triple_entity_keys(triples[index + 1], negatives[index + 1])
-                    )
+                    prelocalizer.announce(entity_keys[index + 1])
                 if prelocalizer is not None:
                     yield from prelocalizer.ready()
-                yield from self._process_triple(client, triples[index], negatives[index])
+                yield from self._process_triple(
+                    client, triples[index], negatives[index], entity_keys[index]
+                )
                 if config.compute_time_per_triple > 0:
                     yield config.compute_time_per_triple
         yield from client.barrier()
@@ -281,11 +288,16 @@ class KGETrainer:
         return None
 
     def _process_triple(
-        self, client, triple: np.ndarray, negatives: np.ndarray
+        self,
+        client,
+        triple: np.ndarray,
+        negatives: np.ndarray,
+        entity_keys: Optional[List[int]] = None,
     ) -> Generator:
         config = self.config
         subject, relation, obj = int(triple[0]), int(triple[1]), int(triple[2])
-        entity_keys = self._triple_entity_keys(triple, negatives)
+        if entity_keys is None:
+            entity_keys = self._triple_entity_keys(triple, negatives)
         relation_keys = self.keyspace.relation_keys(relation)
         all_keys = entity_keys + relation_keys
         pulled = yield from client.pull(all_keys)

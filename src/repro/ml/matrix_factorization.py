@@ -71,6 +71,10 @@ class _EpochPlan:
     at the time; data and blocks are (re)partitioned per participant count.
     Plans are cached, and with a static cluster the single cached plan is
     identical to the pre-elastic fixed assignment.
+
+    ``entries`` holds the per-(worker, block) entry index arrays; the worker
+    loop unboxes one block's schedule into plain Python lists at subepoch
+    start (transient, so the cache never retains boxed copies of the data).
     """
 
     schedule: BlockSchedule
@@ -205,27 +209,67 @@ class MatrixFactorizationTrainer:
         config = self.config
         matrix = self.matrix
         schedule = plan.schedule
+        learning_rate = config.learning_rate
+        regularization = config.regularization
+        compute_time = config.compute_time_per_entry
+        row_factors = self.row_factors
+        # Fused local steps (classic+sharedmem, Lapse): parameter blocking
+        # makes this worker's block keys private until the subepoch barrier,
+        # which is exactly the privacy window FusedLocalSteps requires.
+        fused = client.fused_local_steps()
         for subepoch in range(schedule.num_subepochs):
             block = schedule.block_for(participant, subepoch)
             block_keys = keys_of_block(block, matrix.num_cols, schedule.num_blocks)
             yield from maybe_localize(client, block_keys)
-            entry_indices = plan.entries[(participant, block)]
-            for index in entry_indices:
-                row = int(matrix.rows[index])
-                col = int(matrix.cols[index])
-                value = float(matrix.values[index])
-                pulled = yield from client.pull([col])
-                col_factor = pulled[0]
-                row_factor = self.row_factors[row]
+            # Unbox this block's schedule once: the inner loop then performs
+            # no NumPy scalar conversions.  Transient per subepoch — cached
+            # plans keep only the compact index arrays.
+            indices = plan.entries[(participant, block)]
+            rows = matrix.rows[indices].tolist()
+            cols = matrix.cols[indices].tolist()
+            values = matrix.values[indices].astype(np.float64).tolist()
+            for index in range(len(rows)):
+                row = rows[index]
+                col = cols[index]
+                value = values[index]
+                col_factor = None
+                if fused is not None:
+                    col_factor = fused.try_pull(col)
+                if col_factor is None:
+                    # Slow path (remote / queued / unfused variants): drain
+                    # any fused time first so the operation issues at the
+                    # exact simulated instant the step-by-step path would.
+                    if fused is not None:
+                        wake = fused.drain()
+                        if wake is not None:
+                            yield wake
+                    handle = client.pull_async((col,))
+                    if not handle.done:
+                        yield handle.completion_event
+                    col_factor = handle.first_value()
+                    row_factor = row_factors[row]
+                    error = float(row_factor @ col_factor) - value
+                    grad_row = error * col_factor + regularization * row_factor
+                    grad_col = error * row_factor + regularization * col_factor
+                    row_factors[row] = row_factor - learning_rate * grad_row
+                    client.push_async(
+                        (col,), (-learning_rate * grad_col).reshape(1, -1), needs_ack=False
+                    )
+                    if compute_time > 0:
+                        yield compute_time
+                    continue
+                row_factor = row_factors[row]
                 error = float(row_factor @ col_factor) - value
-                grad_row = error * col_factor + config.regularization * row_factor
-                grad_col = error * row_factor + config.regularization * col_factor
-                self.row_factors[row] = row_factor - config.learning_rate * grad_row
-                client.push_async(
-                    [col], (-config.learning_rate * grad_col).reshape(1, -1), needs_ack=False
-                )
-                if config.compute_time_per_entry > 0:
-                    yield config.compute_time_per_entry
+                grad_row = error * col_factor + regularization * row_factor
+                grad_col = error * row_factor + regularization * col_factor
+                row_factors[row] = row_factor - learning_rate * grad_row
+                fused.push(col, -learning_rate * grad_col)
+                if compute_time > 0:
+                    fused.advance(compute_time)
+            if fused is not None:
+                wake = fused.drain()
+                if wake is not None:
+                    yield wake
             yield from subepoch_synchronization(client)
         return None
 

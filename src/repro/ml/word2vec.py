@@ -203,11 +203,18 @@ class Word2VecTrainer:
         # in the reference Word2Vec implementation.
         sentences = [self._subsample(sentence, rng) for sentence in sentences]
         prelocalizer = Prelocalizer(client) if use_latency_hiding else None
+        # Per-epoch key schedule: every sentence's key list was previously
+        # computed twice (prime/announce plus processing order).
+        sentence_keys = (
+            [self._sentence_keys(sentence) for sentence in sentences]
+            if prelocalizer is not None
+            else None
+        )
         if prelocalizer is not None and sentences:
-            prelocalizer.prime(self._sentence_keys(sentences[0]))
+            prelocalizer.prime(sentence_keys[0])
         for sentence_index, sentence in enumerate(sentences):
             if prelocalizer is not None and sentence_index + 1 < len(sentences):
-                prelocalizer.announce(self._sentence_keys(sentences[sentence_index + 1]))
+                prelocalizer.announce(sentence_keys[sentence_index + 1])
             if prelocalizer is not None:
                 yield from prelocalizer.ready()
             for center_position, center in enumerate(sentence):

@@ -24,6 +24,7 @@ and the per-key routing decisions live in the pluggable
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import (
     Any,
     Callable,
@@ -43,6 +44,7 @@ import numpy as np
 from repro.config import ClusterConfig, ParameterServerConfig, message_size
 from repro.errors import (
     ParameterServerError,
+    StorageError,
     UnknownKeyError,
     UnsupportedOperationError,
 )
@@ -128,6 +130,17 @@ class QueuedOp:
     request: Optional[Any] = None
 
 
+def _run_action(action: Callable[[], None]) -> None:
+    """Kernel-callback shim: invoke a zero-argument deferred action."""
+    action()
+
+
+def _run_handler(arg: Tuple[Callable, "NodeState", Any]) -> None:
+    """Kernel-callback shim: run a scheduled server message handler."""
+    handler, state, message = arg
+    handler(state, message)
+
+
 def van_address(node: int) -> Tuple[str, int]:
     """Network address of the client "van" (response demultiplexer) on ``node``."""
     return ("van", node)
@@ -145,6 +158,10 @@ class NodeState:
         self.ps = ps
         self.node = node
         self.node_id = node.node_id
+        self._outstanding_cleanup = self._cleanup_outstanding  # pre-bound, hot
+        #: Event-driven server bookkeeping: simulated time until which the
+        #: server thread is busy handling already-arrived messages.
+        self.server_busy_until = 0.0
         self.metrics = PSMetrics()
         self.latches = LatchTable(ps.ps_config.num_latches)
         #: Parameters currently owned by this node.
@@ -180,6 +197,16 @@ class NodeState:
         the whole batch and fall back to a per-key split only on the rare
         miss (e.g. a key relocated away mid-access).
         """
+        if len(keys) == 1:
+            key = keys[0]
+            storage = self.storage
+            if not 0 <= key < storage.num_keys:
+                raise StorageError(f"key {key} out of range [0, {storage.num_keys})")
+            if not storage.has_row(key):
+                raise StorageError(f"key {key} is not resident in this store")
+            value = storage.row_copy(key).reshape(1, -1)
+            self.latches.acquisitions += 1
+            return value
         values = self.storage.get_many(keys)
         self.latches.acquire_many(keys)
         return values
@@ -190,18 +217,140 @@ class NodeState:
         ``add_many`` is check-then-apply, so a batch with a non-resident key
         raises before any update or latch accounting happens.
         """
-        self.storage.add_many(keys, updates)
+        storage = self.storage
+        if (
+            len(keys) == 1
+            and updates.__class__ is np.ndarray
+            and updates.dtype == np.float64
+            and updates.shape == (1, storage.value_length)
+        ):
+            # Single-key fast lane; anything not already a validated
+            # (1, value_length) float64 batch falls through to add_many's
+            # check-then-apply coercion.
+            key = keys[0]
+            if not 0 <= key < storage.num_keys:
+                raise StorageError(f"key {key} out of range [0, {storage.num_keys})")
+            if not storage.has_row(key):
+                raise StorageError(f"key {key} is not resident in this store")
+            storage.row_add(key, updates[0])
+            self.latches.acquisitions += 1
+            return
+        storage.add_many(keys, updates)
         self.latches.acquire_many(keys)
 
     def register_handle(self, handle: OperationHandle) -> None:
-        """Track an outstanding operation until its responses arrive."""
+        """Track an outstanding operation until its responses arrive.
+
+        Uses one pre-bound cleanup callback instead of a fresh closure per
+        operation; the completion event carries the handle (see
+        :class:`~repro.ps.futures.OperationHandle`), so the callback can find
+        the table entry without captured state.
+        """
         self.outstanding[id(handle)] = handle
-        op_key = id(handle)
+        handle.completion_event.callbacks.append(self._outstanding_cleanup)
 
-        def _cleanup(_event: Event) -> None:
-            self.outstanding.pop(op_key, None)
+    def _cleanup_outstanding(self, event: Event) -> None:
+        self.outstanding.pop(id(event._value), None)
 
-        handle.completion_event.callbacks.append(_cleanup)
+
+class FusedLocalSteps:
+    """Fused purely-local worker steps: zero kernel events per step.
+
+    On a shared-memory PS, one local training step costs the simulator a pull
+    handle, two deferred actions, a timeout, and several generator resumes —
+    all to model ``read, update, write`` on the worker's own node.  This
+    runner performs the same storage reads/writes, latch accounting, and
+    metric increments *immediately* and accumulates the simulated time the
+    slow path would have taken; the trainer yields the accumulated time to
+    the kernel in one piece at its next communication or synchronization
+    boundary (:meth:`take_pending`).
+
+    Bit-identity contract (enforced by the test sweep, not checkable here):
+    the caller must guarantee that the keys it fuses are **private to this
+    worker** until the next drain — no other worker, server handler, or
+    background synchronizer reads or writes them inside the deferred-time
+    window.  Parameter blocking (§4.1) provides exactly this guarantee for
+    matrix factorization, which is why the MF trainer opts in.  Only
+    management policies whose local access has no side effects beyond
+    storage/latch/metric accounting offer the runner (static allocation and
+    pure relocation; replication and bounded staleness keep background
+    observers and are excluded).
+    """
+
+    __slots__ = ("sim", "storage", "latches", "metrics", "access_delay", "clock")
+
+    def __init__(self, client: "WorkerClient") -> None:
+        state = client.state
+        self.sim = client.ps.sim
+        self.storage = state.storage
+        self.latches = state.latches
+        self.metrics = state.metrics
+        cost = client.ps.cluster.cost_model
+        self.access_delay = cost.local_access_time(shared_memory=True)
+        #: Replayed worker clock: the simulated time this worker would have
+        #: reached had every fused step gone through the kernel.  The deltas
+        #: are added one at a time, in slow-path order, so the final resume
+        #: timestamp is bit-identical to the event-by-event run (floating-
+        #: point addition is not associative; summing first would drift in
+        #: the last bits).  ``None`` while no time is deferred.
+        self.clock: Optional[float] = None
+
+    def try_pull(self, key: int) -> Optional[np.ndarray]:
+        """Fused local pull of one resident key, or None to fall back.
+
+        ``key`` must be in range (trainers pull keys derived from their data
+        layout).  Returns a copy of the value row and accrues the
+        shared-memory access delay; a non-resident key leaves all state
+        untouched so the caller can take the ordinary slow path.
+        """
+        storage = self.storage
+        if not storage.has_row(key):
+            return None
+        metrics = self.metrics
+        metrics.key_reads_local += 1
+        metrics.pulls_local += 1
+        self.latches.acquisitions += 1
+        clock = self.clock
+        if clock is None:
+            clock = self.sim._now
+        self.clock = clock + self.access_delay
+        return storage.row_copy(key)
+
+    def push(self, key: int, update: np.ndarray) -> None:
+        """Fused local push: cumulative float64 update row for a resident key.
+
+        Only valid directly after a successful :meth:`try_pull` of the same
+        key (residency was verified there; the slow path's asynchronous write
+        lands inside the privacy window, so applying it immediately is
+        equivalent).
+        """
+        metrics = self.metrics
+        metrics.key_writes_local += 1
+        metrics.pushes_local += 1
+        self.latches.acquisitions += 1
+        self.storage.row_add(key, update)
+
+    def advance(self, delta: float) -> None:
+        """Accrue compute time (the slow path's per-step compute yield).
+
+        Only meaningful after a :meth:`try_pull` started the deferred window.
+        """
+        self.clock = self.clock + delta
+
+    def drain(self):
+        """Event resuming the worker at the replayed clock, or None if caught up.
+
+        The trainer must ``yield`` the returned event before any non-fused
+        operation, synchronization, or the end of its block — that closes the
+        privacy window and realigns the worker with the kernel clock.
+        """
+        clock = self.clock
+        if clock is None:
+            return None
+        self.clock = None
+        if clock == self.sim._now:
+            return None
+        return self.sim.wake_at(clock)
 
 
 class WorkerClient:
@@ -227,6 +376,8 @@ class WorkerClient:
         self.rng = state.node.worker_rng(local_worker_id)
         self._barrier_generation = 0
         self._clock = 0
+        #: Cached reply address (hot: attached to every request message).
+        self._van_address = van_address(state.node_id)
 
     # ------------------------------------------------------------- conveniences
     @property
@@ -246,6 +397,15 @@ class WorkerClient:
 
     def _check_keys(self, keys: Sequence[int]) -> Tuple[int, ...]:
         num_keys = self.ps.ps_config.num_keys
+        cls = keys.__class__
+        if (cls is list or cls is tuple) and len(keys) == 1:
+            # Single-key fast lane: the dominant shape on the training hot
+            # path (per-entry pulls/pushes).
+            key = keys[0]
+            if key.__class__ is int:
+                if 0 <= key < num_keys:
+                    return (key,)
+                raise UnknownKeyError(key)
         if not hasattr(keys, "__len__"):
             keys = list(keys)  # accept iterators/generators, as before batching
         if type(keys) is not np.ndarray and len(keys) <= _SMALL_BATCH:
@@ -285,19 +445,22 @@ class WorkerClient:
     def pull(self, keys: Sequence[int]) -> Generator:
         """Synchronously pull ``keys``; returns an array with one row per key."""
         handle = self.pull_async(keys)
-        yield from self.wait(handle)
+        if not handle.done:
+            yield handle.completion_event
         return handle.values()
 
     def push(self, keys: Sequence[int], updates: Any) -> Generator:
         """Synchronously push cumulative ``updates`` for ``keys``."""
         handle = self.push_async(keys, updates, needs_ack=True)
-        yield from self.wait(handle)
+        if not handle.done:
+            yield handle.completion_event
         return handle
 
     def localize(self, keys: Sequence[int]) -> Generator:
         """Synchronously localize ``keys`` to this node (Lapse only)."""
         handle = self.localize_async(keys)
-        yield from self.wait(handle)
+        if not handle.done:
+            yield handle.completion_event
         return handle
 
     # --------------------------------------------------------------- async API
@@ -327,6 +490,33 @@ class WorkerClient:
         self.state.register_handle(handle)
         self._issue_localize(handle, keys)
         return handle
+
+    def fused_local_steps(self) -> Optional[FusedLocalSteps]:
+        """Return a :class:`FusedLocalSteps` runner, or None if unsupported.
+
+        The base client never fuses; variants whose local access is pure
+        shared memory (classic with fast local access, Lapse) override this.
+        Always None under ``REPRO_DISABLE_FASTPATH`` so the reference run
+        exercises the event-by-event path.
+        """
+        return None
+
+    def _fusion_safe(self) -> bool:
+        """Engine- and cluster-level preconditions for fused local steps.
+
+        Besides shared-memory access and the fast paths being on, the
+        cluster must be *static*: the elastic runtime fires membership
+        events and rebalancer-driven relocations mid-epoch, which can move
+        a key inside a fused privacy window — exactly what the fusion
+        contract forbids.
+        """
+        ps = self.ps
+        return (
+            ps.ps_config.shared_memory_local_access
+            and self.sim.fastpath
+            and ps._elastic_driver is None
+            and ps.membership is None
+        )
 
     def pull_if_local(self, key: int) -> Optional[np.ndarray]:
         """Return the value of ``key`` if it is stored locally, else ``None``.
@@ -366,7 +556,7 @@ class WorkerClient:
         arrive = BarrierArrive(
             worker_id=self.worker_id,
             node=self.node_id,
-            reply_to=van_address(self.node_id),
+            reply_to=self._van_address,
             generation=generation,
         )
         self.ps.network.send(
@@ -417,9 +607,7 @@ class WorkerClient:
         self, delay: float, action: Callable[[], None]
     ) -> None:
         """Run ``action`` after ``delay`` simulated seconds (without blocking)."""
-        event = Event(self.sim)
-        event.callbacks.append(lambda _evt: action())
-        event.succeed(delay=delay)
+        self.sim.call_later(delay, _run_action, action)
 
     def _send_remote(
         self,
@@ -436,31 +624,39 @@ class WorkerClient:
         chunk's op id on ``handle`` so the van can route the responses back.
         Pushes always request an acknowledgement.
         """
-        for chunk in self._chunks(keys):
-            op_id = self.ps.next_op_id()
-            self.ps.register_op(op_id, handle)
-            if pull:
-                request: Any = PullRequest(
-                    op_id=op_id,
-                    keys=tuple(chunk),
-                    requester_node=self.node_id,
-                    reply_to=van_address(self.node_id),
-                )
-                size = message_size(len(chunk), 0)
-            else:
-                assert updates is not None and key_to_row is not None
-                # One sliced copy instead of a per-key vstack.
-                chunk_updates = copy_rows(updates, [key_to_row[key] for key in chunk])
-                request = PushRequest(
-                    op_id=op_id,
-                    keys=tuple(chunk),
-                    updates=chunk_updates,
-                    requester_node=self.node_id,
-                    reply_to=van_address(self.node_id),
-                    needs_ack=True,
-                )
-                size = message_size(len(chunk), chunk_updates.size)
-            self.ps.send_to_server(self.node_id, destination, request, size)
+        if self.ps.ps_config.message_grouping or len(keys) == 1:
+            self._send_chunk(handle, destination, keys, pull, updates, key_to_row)
+        else:
+            for key in keys:
+                self._send_chunk(handle, destination, [key], pull, updates, key_to_row)
+
+    def _send_chunk(
+        self,
+        handle: OperationHandle,
+        destination: int,
+        chunk: List[int],
+        pull: bool,
+        updates: Optional[np.ndarray],
+        key_to_row: Optional[Dict[int, int]],
+    ) -> None:
+        """Send one pull/push chunk (§3.7) with its op id registered."""
+        ps = self.ps
+        op_id = ps.next_op_id()
+        ps.register_op(op_id, handle)
+        reply_to = self._van_address
+        if pull:
+            # Positional construction (keyword parsing is measurable here).
+            request: Any = PullRequest(op_id, tuple(chunk), self.node_id, reply_to)
+            size = message_size(len(chunk), 0)
+        else:
+            assert updates is not None and key_to_row is not None
+            # One sliced copy instead of a per-key vstack.
+            chunk_updates = copy_rows(updates, [key_to_row[key] for key in chunk])
+            request = PushRequest(
+                op_id, tuple(chunk), chunk_updates, self.node_id, reply_to, True
+            )
+            size = message_size(len(chunk), chunk_updates.size)
+        ps.send_to_server(self.node_id, destination, request, size)
 
     def _chunks(self, keys: List[int]) -> List[List[int]]:
         """Chunk assembly (§3.7): one chunk per destination when message
@@ -519,6 +715,12 @@ class ParameterServer:
         if self.partitioner.num_nodes != cluster.num_nodes:
             raise ParameterServerError("partitioner node count does not match cluster")
         self._op_counter = 0
+        self._op_handle_table: Dict[int, OperationHandle] = {}
+        self._op_cleanup_bound = self._cleanup_ops
+        #: Interned per-node addresses (tuple construction is measurable on
+        #: the per-message hot path).
+        self._server_addresses = [server_address(i) for i in range(cluster.num_nodes)]
+        self._van_addresses = [van_address(i) for i in range(cluster.num_nodes)]
         self.states: List[NodeState] = [self._make_node_state(node) for node in self.nodes]
         self._initialize_parameters(initial_values)
         self._start_threads()
@@ -562,11 +764,36 @@ class ParameterServer:
         # Server thread + van (response demux) on every node, barrier
         # coordinator on node 0.
         self._van_inboxes = []
+        fastpath = self.sim.fastpath
         for state in self.states:
-            self.sim.process(self._server_loop(state), name=f"server-{state.node_id}")
-            inbox = self.network.register(van_address(state.node_id), state.node_id)
+            if fastpath:
+                # Event-driven server: handler timing is fully determined by
+                # ``handle_at = max(arrival, busy_until) + cost``, so the
+                # receive/wait/handle generator loop can be replaced by one
+                # scheduled callback per message (same times, same order).
+                self.network.attach_sink(
+                    server_address(state.node_id),
+                    partial(self._server_receive, state, self._server_dispatch(state)),
+                )
+            else:
+                self.sim.process(
+                    self._server_loop(state), name=f"server-{state.node_id}"
+                )
+            address = van_address(state.node_id)
+            inbox = self.network.register(address, state.node_id)
             self._van_inboxes.append(inbox)
-            self.sim.process(self._van_loop(state, inbox), name=f"van-{state.node_id}")
+            if fastpath:
+                # The van charges no processing cost and reacts immediately,
+                # so its handler can run directly at the delivery instant —
+                # the moment the van process would have been resumed — saving
+                # the mailbox/process round trip per response.
+                self.network.attach_sink(
+                    address, partial(self._handle_van_message, state)
+                )
+            else:
+                self.sim.process(
+                    self._van_loop(state, inbox), name=f"van-{state.node_id}"
+                )
         self._coordinator_inbox = self.network.register(coordinator_address(), 0)
         self.sim.process(self._coordinator_loop(), name="coordinator")
 
@@ -718,10 +945,12 @@ class ParameterServer:
         raise NotImplementedError
 
     def _server_loop(self, state: NodeState) -> Generator:
-        """Generic message loop of the server thread (all variants).
+        """Generic message loop of the server thread (reference engine).
 
         Replaces the per-variant hand-rolled loops: receive, look the message
         type up in the dispatch table, charge its processing cost, handle.
+        Under the fast paths the same semantics run event-driven through
+        :meth:`_server_receive` instead.
         """
         dispatch = self._server_dispatch(state)
         inbox = state.node.server_inbox
@@ -739,26 +968,44 @@ class ParameterServer:
             yield cost
             handler(state, message)
 
+    def _server_receive(self, state: NodeState, dispatch: Dict, message: Any) -> None:
+        """Event-driven server thread: one scheduled handler call per message.
+
+        The generator loop's timing collapses to a closed form — a message
+        arriving at ``a`` is handled at ``max(a, busy_until) + cost`` with
+        FIFO order preserved (``busy_until`` is monotonic) — so the handler
+        is scheduled directly at that instant, skipping the mailbox, the
+        getter event, and two generator resumes per message.
+        """
+        entry = dispatch.get(type(message))
+        if entry is None:
+            raise ParameterServerError(
+                f"{self.name} PS server on node {state.node_id} received "
+                f"unexpected message {message!r}"
+            )
+        state.metrics.server_messages += 1
+        cost, handler = entry
+        sim = self.sim
+        now = sim._now
+        busy = state.server_busy_until
+        start = now if now > busy else busy
+        handle_at = start + cost
+        state.server_busy_until = handle_at
+        sim.call_later(handle_at - now, _run_handler, (handler, state, message))
+
     # --------------------------------------------- shared server-side replies
     def _respond_pull(
         self, state: NodeState, request: Any, keys: Sequence[int], values: np.ndarray
     ) -> None:
         """Send a :class:`PullResponse` for ``keys`` back to the requester."""
-        response = PullResponse(
-            op_id=request.op_id,
-            keys=tuple(keys),
-            values=values,
-            responder_node=state.node_id,
-        )
+        response = PullResponse(request.op_id, tuple(keys), values, state.node_id)
         size = message_size(len(keys), values.size)
         self.network.send(state.node_id, request.reply_to, response, size)
 
     def _ack_push(self, state: NodeState, request: Any, keys: Sequence[int]) -> None:
         """Acknowledge an applied push (if the requester asked for an ack)."""
         if request.needs_ack:
-            ack = PushAck(
-                op_id=request.op_id, keys=tuple(keys), responder_node=state.node_id
-            )
+            ack = PushAck(request.op_id, tuple(keys), state.node_id)
             self.network.send(
                 state.node_id, request.reply_to, ack, message_size(len(keys), 0)
             )
@@ -814,23 +1061,30 @@ class ParameterServer:
         )
 
     def _find_handle(self, state: NodeState, op_id: int) -> Optional[OperationHandle]:
-        handle = self._op_handles.get(op_id)
-        return handle
+        return self._op_handle_table.get(op_id)
 
-    # Operation-id → handle registry (cluster global; models the per-node
-    # "customer" tables of PS-Lite without extra bookkeeping in every client).
-    @property
-    def _op_handles(self) -> Dict[int, OperationHandle]:
-        if not hasattr(self, "_op_handle_table"):
-            self._op_handle_table: Dict[int, OperationHandle] = {}
-        return self._op_handle_table
+    # The operation-id → handle registry (``_op_handle_table``, initialized in
+    # __init__) is cluster global; it models the per-node "customer" tables of
+    # PS-Lite without extra bookkeeping in every client.
 
     def register_op(self, op_id: int, handle: OperationHandle) -> None:
-        """Associate ``op_id`` with ``handle`` for response routing."""
-        self._op_handles[op_id] = handle
-        handle.completion_event.callbacks.append(
-            lambda _evt: self._op_handles.pop(op_id, None)
-        )
+        """Associate ``op_id`` with ``handle`` for response routing.
+
+        Cleanup is one callback per *handle* (popping all of its op ids on
+        completion), not one closure per op id.
+        """
+        self._op_handle_table[op_id] = handle
+        ids = handle._op_ids
+        if ids is None:
+            handle._op_ids = [op_id]
+            handle.completion_event.callbacks.append(self._op_cleanup_bound)
+        else:
+            ids.append(op_id)
+
+    def _cleanup_ops(self, event: Any) -> None:
+        table = self._op_handle_table
+        for op_id in event._value._op_ids:
+            table.pop(op_id, None)
 
     # ------------------------------------------------------------- coordinator
     @property
@@ -871,8 +1125,8 @@ class ParameterServer:
     # ------------------------------------------------------------------ sending
     def send_to_server(self, src_node: int, dst_node: int, payload: Any, size: int) -> None:
         """Send ``payload`` to the server thread of ``dst_node``."""
-        self.network.send(src_node, server_address(dst_node), payload, size)
+        self.network.send(src_node, self._server_addresses[dst_node], payload, size)
 
     def send_to_van(self, src_node: int, dst_node: int, payload: Any, size: int) -> None:
         """Send ``payload`` to the client van of ``dst_node``."""
-        self.network.send(src_node, van_address(dst_node), payload, size)
+        self.network.send(src_node, self._van_addresses[dst_node], payload, size)

@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.ps.base import (
+    FusedLocalSteps,
     NodeState,
     ParameterServer,
     WorkerClient,
@@ -37,11 +38,40 @@ from repro.ps.policy import ROUTE_LOCAL, StaticPolicy
 class ClassicWorkerClient(WorkerClient):
     """Client for the classic PS: routes every key to its static server."""
 
+    def fused_local_steps(self):
+        """Fused local steps for the shared-memory classic variant.
+
+        Static allocation keeps a key's residency constant, and the policy's
+        local route has no side effects, so a resident key is exactly a key
+        this client may fuse.  The PS-Lite (inter-process) variant must keep
+        paying the server round trip and never fuses.
+        """
+        if self._fusion_safe() and type(self.policy) is StaticPolicy:
+            return FusedLocalSteps(self)
+        return None
+
     # ------------------------------------------------------------------- pull
     def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:
-        local_keys, remote_groups = self._split_by_owner(keys)
         state = self.state
         metrics = state.metrics
+        if len(keys) == 1:
+            # Single-key lane: no grouping containers for the per-entry
+            # training pattern.
+            key = keys[0]
+            route = self.policy.route(state, key)
+            if route.kind == ROUTE_LOCAL:
+                metrics.key_reads_local += 1
+                metrics.pulls_local += 1
+                if self.ps.ps_config.shared_memory_local_access:
+                    self._local_pull_shared_memory(handle, [key])
+                else:
+                    self._send_chunk(handle, self.node_id, [key], True, None, None)
+            else:
+                metrics.key_reads_remote += 1
+                metrics.pulls_remote += 1
+                self._send_chunk(handle, route.destination, [key], True, None, None)
+            return
+        local_keys, remote_groups = self._split_by_owner(keys)
         if local_keys:
             metrics.key_reads_local += len(local_keys)
             if self.ps.ps_config.shared_memory_local_access:
@@ -65,9 +95,28 @@ class ClassicWorkerClient(WorkerClient):
         updates: np.ndarray,
         needs_ack: bool,
     ) -> None:
-        local_keys, remote_groups = self._split_by_owner(keys)
         state = self.state
         metrics = state.metrics
+        if len(keys) == 1:
+            key = keys[0]
+            route = self.policy.route(state, key, write=True)
+            if route.kind == ROUTE_LOCAL:
+                metrics.key_writes_local += 1
+                metrics.pushes_local += 1
+                if self.ps.ps_config.shared_memory_local_access:
+                    self._local_push_shared_memory(handle, [key], updates, {key: 0})
+                else:
+                    self._send_chunk(
+                        handle, self.node_id, [key], False, updates, {key: 0}
+                    )
+            else:
+                metrics.key_writes_remote += 1
+                metrics.pushes_remote += 1
+                self._send_chunk(
+                    handle, route.destination, [key], False, updates, {key: 0}
+                )
+            return
+        local_keys, remote_groups = self._split_by_owner(keys)
         key_to_row = {key: index for index, key in enumerate(keys)}
         if local_keys:
             metrics.key_writes_local += len(local_keys)
@@ -124,6 +173,13 @@ class ClassicWorkerClient(WorkerClient):
     def _split_by_owner(
         self, keys: Tuple[int, ...]
     ) -> Tuple[List[int], Dict[int, List[int]]]:
+        if len(keys) == 1:
+            # Single-key fast lane (the per-entry training pattern).
+            key = keys[0]
+            route = self.policy.route(self.state, key)
+            if route.kind == ROUTE_LOCAL:
+                return [key], {}
+            return [], {route.destination: [key]}
         routes = self.policy.route_many(self.state, keys)
         local_keys: List[int] = []
         remote_groups: Dict[int, List[int]] = defaultdict(list)

@@ -32,6 +32,19 @@ class OperationHandle:
         issued_at: Simulated time at which the operation was issued.
     """
 
+    __slots__ = (
+        "sim",
+        "op_type",
+        "keys",
+        "value_length",
+        "issued_at",
+        "completed_at",
+        "_event",
+        "_pending_keys",
+        "_values",
+        "_op_ids",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -41,13 +54,25 @@ class OperationHandle:
     ) -> None:
         self.sim = sim
         self.op_type = op_type
-        self.keys: Tuple[int, ...] = tuple(int(k) for k in keys)
+        # Client callers pass the already-checked int tuple from _check_keys;
+        # anything else is normalized here.
+        if type(keys) is not tuple:
+            keys = tuple(int(k) for k in keys)
+        self.keys: Tuple[int, ...] = keys
         self.value_length = value_length
-        self.issued_at = sim.now
+        self.issued_at = sim._now
         self.completed_at: Optional[float] = None
         self._event = Event(sim)
-        self._pending_keys = set(self.keys)
+        # The completion event always carries the handle — pre-seeding the
+        # value (succeed() overwrites it with the same object) lets cleanup
+        # callbacks find the handle even when the operation *fails*, without
+        # allocating a closure per registration.
+        self._event._value = self
+        self._pending_keys = set(keys)
         self._values: Dict[int, np.ndarray] = {}
+        #: Op ids registered for this handle in the server's routing table
+        #: (managed by :meth:`ParameterServer.register_op`).
+        self._op_ids: Optional[list] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -72,25 +97,34 @@ class OperationHandle:
         self, keys: Sequence[int], values: Optional[np.ndarray] = None
     ) -> None:
         """Mark ``keys`` as answered, optionally recording pulled values."""
-        keys = [int(k) for k in keys]
-        if values is not None:
+        pending = self._pending_keys
+        if values is None:
+            # Ack-style completion (pushes, localizes): no value bookkeeping.
+            for key in keys:
+                pending.discard(int(key))
+            if not pending and not self._event._triggered:
+                self.completed_at = self.sim._now
+                self._event.succeed(self)
+            return
+        if values.__class__ is not np.ndarray or values.dtype != np.float64:
             values = np.asarray(values, dtype=np.float64)
-            if values.ndim == 1:
-                values = values.reshape(1, -1)
-            if values.shape[0] != len(keys):
-                raise ParameterServerError(
-                    f"got {values.shape[0]} value rows for {len(keys)} keys"
-                )
+        if values.ndim == 1:
+            values = values.reshape(1, -1)
+        if values.shape[0] != len(keys):
+            raise ParameterServerError(
+                f"got {values.shape[0]} value rows for {len(keys)} keys"
+            )
+        recorded = self._values
         for index, key in enumerate(keys):
-            if key not in self._pending_keys:
+            key = int(key)
+            if key not in pending:
                 # Duplicate completion (e.g. a retried message); ignore the
                 # repeat but keep the first value.
                 continue
-            self._pending_keys.discard(key)
-            if values is not None:
-                self._values[key] = values[index]
-        if not self._pending_keys and not self._event.triggered:
-            self.completed_at = self.sim.now
+            pending.discard(key)
+            recorded[key] = values[index]
+        if not pending and not self._event._triggered:
+            self.completed_at = self.sim._now
             self._event.succeed(self)
 
     def fail(self, exception: BaseException) -> None:
@@ -109,12 +143,31 @@ class OperationHandle:
         keys = self.keys
         recorded = self._values
         out = np.empty((len(keys), self.value_length), dtype=np.float64)
+        if len(keys) == 1:
+            row = recorded.get(keys[0])
+            if row is None:
+                raise ParameterServerError(f"no value recorded for key {keys[0]}")
+            out[0] = row
+            return out
         for index, key in enumerate(keys):
             row = recorded.get(key)
             if row is None:
                 raise ParameterServerError(f"no value recorded for key {key}")
             out[index] = row
         return out
+
+    def first_value(self) -> np.ndarray:
+        """Read-only row view of the first key's pulled value (hot path).
+
+        Unlike :meth:`values`, no output array is allocated; the returned row
+        aliases the response buffer and must not be mutated by the caller.
+        """
+        if not self._event._triggered:
+            raise ParameterServerError("operation has not completed yet")
+        row = self._values.get(self.keys[0])
+        if row is None:
+            raise ParameterServerError(f"no value recorded for key {self.keys[0]}")
+        return row
 
     def value(self) -> np.ndarray:
         """Return the value of a single-key pull as a flat vector."""

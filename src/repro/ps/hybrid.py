@@ -54,7 +54,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import message_size
-from repro.ps.base import NodeState, QueuedOp
+from repro.ps.base import FusedLocalSteps, NodeState, QueuedOp
 from repro.ps.futures import OperationHandle
 from repro.ps.lapse import LapseNodeState, LapsePS, LapseWorkerClient, RelocatingKey
 from repro.ps.messages import (
@@ -109,10 +109,41 @@ class HybridNodeState(ReplicaNodeState, LapseNodeState):
         NodeState.write_local_many(self, keys, updates)
 
 
+class HybridFusedLocalSteps(FusedLocalSteps):
+    """Fused local steps for the hybrid PS: only subscriber-free owned keys.
+
+    An owned key with subscribers is replicated elsewhere — its writes feed
+    the broadcast buffers that the background synchronizer reads mid-window,
+    so such keys must stay on the event-by-event path.  A subscriber-free
+    owned key behaves exactly like a Lapse-owned key (plain storage write;
+    the broadcast hook is a no-op), and the trainer's privacy window also
+    rules out a subscription *appearing* mid-window (a registration would
+    require another node to read the key).
+    """
+
+    __slots__ = ("subscribers",)
+
+    def __init__(self, client: "HybridWorkerClient") -> None:
+        super().__init__(client)
+        self.subscribers = client.state.subscribers
+
+    def try_pull(self, key):
+        entry = self.subscribers.get(key)
+        if entry:
+            return None
+        return FusedLocalSteps.try_pull(self, key)
+
+
 class HybridWorkerClient(LapseWorkerClient):
     """Client of the hybrid PS: replica fast path over Lapse routing."""
 
     state: HybridNodeState
+
+    def fused_local_steps(self):
+        """Subscriber-aware fused local steps (see HybridFusedLocalSteps)."""
+        if self._fusion_safe() and type(self.policy) is HybridManagementPolicy:
+            return HybridFusedLocalSteps(self)
+        return None
 
     # ------------------------------------------------------------------- pull
     def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:

@@ -43,6 +43,7 @@ import numpy as np
 from repro.config import message_size
 from repro.errors import RelocationError, StorageError
 from repro.ps.base import (
+    FusedLocalSteps,
     NodeState,
     ParameterServer,
     QueuedOp,
@@ -107,6 +108,19 @@ class LapseWorkerClient(WorkerClient):
     """Lapse client: shared-memory local access, localize, transparent routing."""
 
     state: LapseNodeState
+
+    def fused_local_steps(self):
+        """Fused local steps for pure relocation (not the hybrid composition).
+
+        Under :class:`RelocationPolicy`, residency in the local store *is*
+        the local-route condition and local access touches nothing beyond
+        storage, latches, and metrics.  The hybrid policy is excluded: its
+        owner-side writes feed replica broadcast buffers that a background
+        synchronizer observes mid-window.
+        """
+        if self._fusion_safe() and type(self.policy) is RelocationPolicy:
+            return FusedLocalSteps(self)
+        return None
 
     # ------------------------------------------------------------------- pull
     def _issue_pull(self, handle: OperationHandle, keys: Tuple[int, ...]) -> None:

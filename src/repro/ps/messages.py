@@ -16,7 +16,12 @@ envelopes.  They mirror the message types described in the paper:
 
 All message classes are slotted dataclasses: messages are the most frequently
 allocated objects on the simulator's hot path, and ``__slots__`` removes the
-per-instance ``__dict__`` allocation.
+per-instance ``__dict__`` allocation.  They are *not* frozen — a frozen
+dataclass routes every field assignment in ``__init__`` through
+``object.__setattr__``, which roughly triples construction cost — but they
+are immutable by convention: a message, once sent, is shared between sender
+and receiver and must never be mutated (build a new message instead, as the
+forwarding helpers do).
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from typing import Hashable, Optional, Tuple
 import numpy as np
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class PullRequest:
     """Request to read the current values of ``keys``.
 
@@ -42,7 +47,7 @@ class PullRequest:
     hops: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class PullResponse:
     """Values answering a :class:`PullRequest` (possibly a partial key subset)."""
 
@@ -52,7 +57,7 @@ class PullResponse:
     responder_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class PushRequest:
     """Cumulative update for ``keys``; ``updates`` has one row per key."""
 
@@ -65,7 +70,7 @@ class PushRequest:
     hops: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class PushAck:
     """Acknowledgement that a push (sub-)request was applied."""
 
@@ -74,7 +79,7 @@ class PushAck:
     responder_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class LocalizeRequest:
     """Message 1 of the relocation protocol: requester → home node."""
 
@@ -83,7 +88,7 @@ class LocalizeRequest:
     requester_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class RelocateInstruction:
     """Message 2 of the relocation protocol: home node → current owner."""
 
@@ -93,7 +98,7 @@ class RelocateInstruction:
     home_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class RelocationTransfer:
     """Message 3 of the relocation protocol: old owner → new owner (with values).
 
@@ -114,7 +119,7 @@ class RelocationTransfer:
     subscribers: Tuple[Tuple[int, ...], ...] = ()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class LocalizeAck:
     """Notification that keys were already local to the requester (no move needed)."""
 
@@ -123,7 +128,7 @@ class LocalizeAck:
 
 
 # --------------------------------------------------------------------------- stale PS
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReplicaFetchRequest:
     """Stale PS: fetch fresh replica values for ``keys`` from their owner."""
 
@@ -134,7 +139,7 @@ class ReplicaFetchRequest:
     clock: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReplicaFetchResponse:
     """Stale PS: fresh values with the server clock at which they were read."""
 
@@ -145,7 +150,7 @@ class ReplicaFetchResponse:
     responder_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class UpdateFlush:
     """Stale PS: accumulated updates flushed from a node to a key's owner at a clock."""
 
@@ -157,7 +162,7 @@ class UpdateFlush:
     reply_to: Optional[Hashable] = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class FlushAck:
     """Stale PS: acknowledgement that an update flush was applied."""
 
@@ -166,7 +171,7 @@ class FlushAck:
     responder_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReplicaPush:
     """Stale PS (SSPPush): owner proactively pushes fresh values to a subscriber."""
 
@@ -177,7 +182,7 @@ class ReplicaPush:
 
 
 # ---------------------------------------------------------------------- replica PS
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReplicaRegisterRequest:
     """Replica PS: subscribe ``requester_node`` to ``keys`` and fetch a snapshot.
 
@@ -192,7 +197,7 @@ class ReplicaRegisterRequest:
     reply_to: Hashable
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReplicaInstall:
     """Replica PS: owner → new replica holder, value snapshot at subscribe time."""
 
@@ -201,7 +206,7 @@ class ReplicaInstall:
     responder_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReplicaSyncFlush:
     """Replica PS: accumulated local updates flushed from a replica holder to the owner.
 
@@ -215,7 +220,7 @@ class ReplicaSyncFlush:
     source_node: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReplicaDeltaBroadcast:
     """Replica PS: owner → subscriber, aggregate of other nodes' updates.
 
@@ -231,7 +236,7 @@ class ReplicaDeltaBroadcast:
 
 
 # ----------------------------------------------------------------- elastic cluster
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class RecoveryInstall:
     """Elastic runtime: a surviving replica holder ships recovered keys to their new owner.
 
@@ -251,7 +256,7 @@ class RecoveryInstall:
 
 
 # --------------------------------------------------------------------------- barrier
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class BarrierArrive:
     """A worker announces it reached barrier ``generation``."""
 
@@ -261,14 +266,14 @@ class BarrierArrive:
     generation: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class BarrierRelease:
     """The coordinator releases all workers from barrier ``generation``."""
 
     generation: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class WorkerDirectValue:
     """Reply routed to a specific worker rather than the node van (rarely used)."""
 

@@ -129,6 +129,22 @@ class ParameterStorage:
     def contains(self, key: int) -> bool:
         raise NotImplementedError
 
+    # -------------------------------------------------- unchecked fast access
+    # The ``row_*`` primitives back the fused worker-step path: the caller has
+    # already verified residency (``has_row``) and guarantees a float64 update
+    # row of the store's value length, so all per-call validation is skipped.
+    def has_row(self, key: int) -> bool:
+        """Unchecked residency probe (``key`` must be in range)."""
+        return self.contains(key)
+
+    def row_copy(self, key: int) -> np.ndarray:
+        """Copy of a resident row, without residency/range checks."""
+        return self.get(key)
+
+    def row_add(self, key: int, update: np.ndarray) -> None:
+        """In-place cumulative update of a resident row, without checks."""
+        self.add(key, update)
+
     def get(self, key: int) -> np.ndarray:
         raise NotImplementedError
 
@@ -323,6 +339,15 @@ class DenseStorage(ParameterStorage):
         self._check_key(key)
         return bool(self._present[key])
 
+    def has_row(self, key: int) -> bool:
+        return self._present[key]
+
+    def row_copy(self, key: int) -> np.ndarray:
+        return self._values[key].copy()
+
+    def row_add(self, key: int, update: np.ndarray) -> None:
+        self._values[key] += update
+
     def get(self, key: int) -> np.ndarray:
         if not self.contains(key):
             raise StorageError(f"key {key} is not resident in this store")
@@ -495,11 +520,20 @@ class DenseStorage(ParameterStorage):
 
 
 class SparseStorage(ParameterStorage):
-    """Dict-backed store holding an arbitrary subset of the key space.
+    """Slab-backed store holding an arbitrary subset of the key space.
 
-    Stored rows are owned by the store (values are copied in on ``insert`` /
-    ``set`` and copied out on ``get``), which lets ``add`` update rows in
-    place instead of allocating a new array per update.
+    Resident keys map (via a dict) to row *slots* of one contiguous backing
+    matrix; the matrix grows by doubling, and removed keys' slots are
+    recycled through a free list.  Values are copied in on ``insert`` /
+    ``set`` and out on ``get``, so callers never alias stored rows, and
+    ``add`` updates the slab row in place (no allocation per update).
+
+    The slab layout is what makes the batch operations fast: ``get_many`` is
+    one fancy-index gather and ``add_many`` one vectorized in-place scatter
+    (``np.add.at`` when the batch contains duplicate keys), instead of a
+    Python-level loop of per-row NumPy calls.  Batch semantics are unchanged:
+    state after a batch equals a sequence of single-key ops in batch order,
+    and every mutator is check-then-apply.
     """
 
     def __init__(
@@ -514,62 +548,86 @@ class SparseStorage(ParameterStorage):
             raise StorageError(f"value_length must be >= 1, got {value_length}")
         self.num_keys = num_keys
         self.value_length = value_length
-        self._values: Dict[int, np.ndarray] = {}
+        #: key -> row slot in the backing matrix.
+        self._index: Dict[int, int] = {}
+        self._matrix = np.zeros((8, value_length), dtype=np.float64)
+        #: Slots handed back by ``remove``, reused before growing the slab.
+        self._free: List[int] = []
+        #: High-water mark: slots below this have been allocated at least once.
+        self._top = 0
         if initial_keys is not None:
             for key in initial_keys:
                 self._check_key(key)
-                self._values[key] = np.zeros(value_length, dtype=np.float64)
+                self._index[key] = self._allocate()
 
     def _check_key(self, key: int) -> None:
         if not 0 <= key < self.num_keys:
             raise StorageError(f"key {key} out of range [0, {self.num_keys})")
 
-    def _own_value(self, key: int, value: np.ndarray) -> np.ndarray:
-        """Validate ``value`` and return a row owned by this store."""
-        checked = self._check_value(key, value)
-        if checked is value or checked.base is not None:
-            # ``asarray`` did not copy (or produced a view): take ownership so
-            # in-place ``add`` never mutates a caller's array.
-            checked = checked.copy()
-        return checked
+    def _allocate(self) -> int:
+        """Return a zeroed free slot, growing the slab if necessary."""
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._matrix[slot] = 0.0
+            return slot
+        matrix = self._matrix
+        if self._top == matrix.shape[0]:
+            grown = np.zeros((matrix.shape[0] * 2, self.value_length), dtype=np.float64)
+            grown[: self._top] = matrix
+            self._matrix = grown
+        slot = self._top
+        self._top += 1
+        return slot
 
     def contains(self, key: int) -> bool:
         self._check_key(key)
-        return key in self._values
+        return key in self._index
+
+    def has_row(self, key: int) -> bool:
+        return key in self._index
+
+    def row_copy(self, key: int) -> np.ndarray:
+        return self._matrix[self._index[key]].copy()
+
+    def row_add(self, key: int, update: np.ndarray) -> None:
+        self._matrix[self._index[key]] += update
 
     def get(self, key: int) -> np.ndarray:
         if not self.contains(key):
             raise StorageError(f"key {key} is not resident in this store")
-        return self._values[key].copy()
+        return self._matrix[self._index[key]].copy()
 
     def set(self, key: int, value: np.ndarray) -> None:
         if not self.contains(key):
             raise StorageError(f"key {key} is not resident in this store")
-        self._values[key] = self._own_value(key, value)
+        self._matrix[self._index[key]] = self._check_value(key, value)
 
     def add(self, key: int, update: np.ndarray) -> None:
         if not self.contains(key):
             raise StorageError(f"key {key} is not resident in this store")
-        # In-place accumulation: the stored row is owned by the store, so no
-        # new array is allocated per update.
-        self._values[key] += self._check_value(key, update)
+        # In-place accumulation into the slab row: no allocation per update.
+        self._matrix[self._index[key]] += self._check_value(key, update)
 
     def insert(self, key: int, value: np.ndarray) -> None:
         self._check_key(key)
-        if key in self._values:
+        if key in self._index:
             raise StorageError(f"key {key} is already resident; cannot insert twice")
-        self._values[key] = self._own_value(key, value)
+        value = self._check_value(key, value)
+        slot = self._allocate()
+        self._index[key] = slot
+        self._matrix[slot] = value
 
     def remove(self, key: int) -> np.ndarray:
         value = self.get(key)
-        del self._values[key]
+        self._free.append(self._index.pop(key))
         return value
 
     def keys(self) -> Iterator[int]:
-        return iter(sorted(self._values.keys()))
+        return iter(sorted(self._index.keys()))
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self._index)
 
     # ------------------------------------------------------------- batch API
     @staticmethod
@@ -579,93 +637,112 @@ class SparseStorage(ParameterStorage):
             return keys.tolist()
         return keys
 
+    def _resolve_slots(self, key_list: Sequence[int]) -> List[int]:
+        """Slot of every key, raising on the first non-resident key."""
+        index = self._index
+        slots = []
+        for key in key_list:
+            slot = index.get(key)
+            if slot is None:
+                self._check_key(key)
+                raise StorageError(f"key {key} is not resident in this store")
+            slots.append(slot)
+        return slots
+
     def contains_many(self, keys: Sequence[int]) -> np.ndarray:
         key_list = self._key_list(keys)
-        values = self._values
+        index = self._index
         num_keys = self.num_keys
         out = np.empty(len(key_list), dtype=bool)
-        for index, key in enumerate(key_list):
+        for position, key in enumerate(key_list):
             if not 0 <= key < num_keys:
                 raise StorageError(f"key {key} out of range [0, {num_keys})")
-            out[index] = key in values
+            out[position] = key in index
         return out
 
     def contains_flags(self, keys: Sequence[int]) -> list:
         key_list = self._key_list(keys)
-        values = self._values
+        index = self._index
         num_keys = self.num_keys
         flags = []
         for key in key_list:
             if not 0 <= key < num_keys:
                 raise StorageError(f"key {key} out of range [0, {num_keys})")
-            flags.append(key in values)
+            flags.append(key in index)
         return flags
 
     def get_many(self, keys: Sequence[int]) -> np.ndarray:
         key_list = self._key_list(keys)
-        values = self._values
-        out = np.empty((len(key_list), self.value_length), dtype=np.float64)
-        for index, key in enumerate(key_list):
-            row = values.get(key)
-            if row is None:
-                self._check_key(key)
-                raise StorageError(f"key {key} is not resident in this store")
-            out[index] = row
-        return out
+        slots = self._resolve_slots(key_list)
+        # One gather off the slab (fancy indexing copies, as ``get`` does).
+        return self._matrix[slots]
 
     def add_many(self, keys: Sequence[int], updates: np.ndarray) -> None:
         key_list = self._key_list(keys)
         updates = self._check_batch_values(len(key_list), updates)
-        values = self._values
-        # Resolve every row before mutating so a failed batch leaves no
-        # partial update behind (add_many is check-then-apply).
-        rows = []
-        for key in key_list:
-            row = values.get(key)
-            if row is None:
-                self._check_key(key)
-                raise StorageError(f"key {key} is not resident in this store")
-            rows.append(row)
-        for index, row in enumerate(rows):
-            row += updates[index]
+        # Resolving every slot first keeps add_many check-then-apply: a batch
+        # with a non-resident key raises before any update lands.
+        slots = self._resolve_slots(key_list)
+        matrix = self._matrix
+        if len(slots) <= SMALL_BATCH:
+            for position, slot in enumerate(slots):
+                matrix[slot] += updates[position]
+            return
+        slot_array = np.asarray(slots, dtype=np.intp)
+        if np.unique(slot_array).size == slot_array.size:
+            # Duplicate-free batch: fancy += is several times faster than the
+            # unbuffered np.add.at and numerically identical here.
+            matrix[slot_array] += updates
+        else:
+            # Unbuffered accumulation: duplicate keys in one batch add up
+            # exactly as a sequence of single-key ``add`` calls would.
+            np.add.at(matrix, slot_array, updates)
 
     def set_many(self, keys: Sequence[int], values_in: np.ndarray) -> None:
         key_list = self._key_list(keys)
         values_in = self._check_batch_values(len(key_list), values_in)
-        values = self._values
-        for key in key_list:
-            if key not in values:
-                self._check_key(key)
-                raise StorageError(f"key {key} is not resident in this store")
-        for index, key in enumerate(key_list):
-            values[key] = values_in[index].copy()
+        slots = self._resolve_slots(key_list)
+        matrix = self._matrix
+        if len(slots) <= SMALL_BATCH:
+            for position, slot in enumerate(slots):
+                matrix[slot] = values_in[position]
+            return
+        # Duplicate slots resolve to the last row, matching per-key order.
+        matrix[np.asarray(slots, dtype=np.intp)] = values_in
 
     def insert_many(self, keys: Sequence[int], values_in: np.ndarray) -> None:
         key_list = self._key_list(keys)
         values_in = self._check_batch_values(len(key_list), values_in)
-        values = self._values
+        index = self._index
         seen = set()
         for key in key_list:
             self._check_key(key)
-            if key in values or key in seen:
+            if key in index or key in seen:
                 raise StorageError(f"key {key} is already resident; cannot insert twice")
             seen.add(key)
-        for index, key in enumerate(key_list):
-            values[key] = values_in[index].copy()
+        slots = [self._allocate() for _ in key_list]
+        matrix = self._matrix
+        for position, key in enumerate(key_list):
+            index[key] = slots[position]
+        if len(slots) <= SMALL_BATCH:
+            for position, slot in enumerate(slots):
+                matrix[slot] = values_in[position]
+        else:
+            matrix[np.asarray(slots, dtype=np.intp)] = values_in
 
     def remove_many(self, keys: Sequence[int]) -> np.ndarray:
         key_list = self._key_list(keys)
-        values = self._values
+        index = self._index
         seen = set()
         for key in key_list:
-            if key not in values or key in seen:
+            if key not in index or key in seen:
                 self._check_key(key)
                 raise StorageError(f"key {key} is not resident in this store")
             seen.add(key)
-        out = np.empty((len(key_list), self.value_length), dtype=np.float64)
-        for index, key in enumerate(key_list):
-            out[index] = values.pop(key)
-        return out
+        slots = [index.pop(key) for key in key_list]
+        values = self._matrix[slots]
+        self._free.extend(slots)
+        return values
 
 
 def make_storage(

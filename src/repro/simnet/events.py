@@ -29,7 +29,15 @@ class Event:
     allocating a replacement.
     """
 
-    __slots__ = ("sim", "_callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = (
+        "sim",
+        "_callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+        "_pooled",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -38,6 +46,9 @@ class Event:
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
+        #: Kernel-internal: recycled into the simulator's event pool after
+        #: processing (set only by :meth:`Simulator.acquire_event`).
+        self._pooled = False
 
     @property
     def callbacks(self) -> List[Callable[["Event"], None]]:

@@ -4,15 +4,66 @@
 simulated clock from event to event.  Events scheduled for the same simulated
 time are processed in the order they were triggered, which makes simulations
 fully deterministic.
+
+Hot-path design (see docs/architecture.md, "Simulation engine performance"):
+
+* **Immediate-dispatch ring** — events scheduled for the *current* simulated
+  time (zero-delay triggers, queue hand-offs, completion notifications) are
+  appended to a FIFO ring and never touch the heap.  Any event created while
+  the clock sits at ``now`` carries a larger sequence number than everything
+  already pending, so draining the heap's ``now``-entries first and the ring
+  second reproduces exactly the global (time, sequence) order of the plain
+  heap — the ring is a proof-preserving fast path, not an approximation.
+* **Event pool** — short-lived internal events (queue getters, resume relays)
+  are recycled through a free list via :meth:`Simulator.acquire_event`; pooled
+  events are reset on *acquisition*, so callbacks appended after processing
+  (which the :class:`~repro.simnet.events.Event` contract drops) can never
+  leak into the next incarnation.
+* **Bare callback tokens** — internal one-shot actions (message deliveries,
+  timeout resumes) are scheduled with :meth:`Simulator.call_later` as
+  ``(fn, arg)`` tokens, skipping the Event object, its callback list, and its
+  state flags entirely.
+* **Tight run loop** — :meth:`run` inlines event processing with hoisted
+  lookups instead of calling :meth:`step` per event.
+
+Setting the environment variable ``REPRO_DISABLE_FASTPATH=1`` at simulator
+construction time disables the ring and the pool (and, downstream, message
+coalescing and fused worker steps), restoring the reference engine that the
+bit-identity test sweep compares against.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+import os
+from collections import deque
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.simnet.events import Event, Timeout
+
+#: Upper bound on the event free list; beyond this, processed pooled events
+#: are simply dropped for the garbage collector.
+_POOL_MAX = 512
+
+
+def fastpath_disabled() -> bool:
+    """Whether ``REPRO_DISABLE_FASTPATH`` requests the reference engine.
+
+    Read at :class:`Simulator` construction time, so tests can toggle the
+    environment variable per simulation run.
+    """
+    return os.environ.get("REPRO_DISABLE_FASTPATH", "").strip() not in ("", "0")
+
+
+class _Call:
+    """A bare scheduled callback: one-shot work without an Event object."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
 
 
 class Simulator:
@@ -33,9 +84,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Tuple[float, int, Any]] = []
+        #: FIFO of events/calls scheduled for the current simulated time.
+        self._ring: deque = deque()
         self._sequence = 0
         self._running = False
+        self._event_pool: List[Event] = []
+        #: Whether the engine fast paths (ring, pool, coalescing, fused worker
+        #: steps) are active for this simulator instance.
+        self.fastpath = not fastpath_disabled()
 
     @property
     def now(self) -> float:
@@ -45,7 +102,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of triggered-but-unprocessed events."""
-        return len(self._queue)
+        return len(self._queue) + len(self._ring)
 
     def peek_time(self) -> Optional[float]:
         """Simulated time of the next queued event (None if the queue is empty).
@@ -54,6 +111,8 @@ class Simulator:
         interleave control-plane actions with event processing without
         perturbing the queue.
         """
+        if self._ring:
+            return self._now
         if not self._queue:
             return None
         return self._queue[0][0]
@@ -62,6 +121,27 @@ class Simulator:
     def event(self) -> Event:
         """Create a new untriggered :class:`Event`."""
         return Event(self)
+
+    def acquire_event(self) -> Event:
+        """Return a pooled internal :class:`Event` (reset on acquisition).
+
+        Only for short-lived events fully owned by the runtime (queue getters,
+        resume relays): after processing, the kernel recycles them into the
+        free list, so callers must not retain references past processing.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._callbacks = None
+            event._value = None
+            event._exception = None
+            event._triggered = False
+            event._processed = False
+            return event
+        event = Event(self)
+        if self.fastpath:
+            event._pooled = True
+        return event
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` that fires after ``delay`` seconds."""
@@ -76,27 +156,94 @@ class Simulator:
     def _enqueue(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay}s in the past")
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        now = self._now
+        time = now + delay
         self._sequence += 1
+        if time == now and self.fastpath:
+            self._ring.append(event)
+        else:
+            heapq.heappush(self._queue, (time, self._sequence, event))
+
+    def call_later(self, delay: float, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` simulated seconds.
+
+        The cheap form of a triggered event: no :class:`Event` object is
+        allocated, no callbacks list, no state flags — the kernel simply
+        invokes ``fn(arg)`` at the scheduled (time, sequence) slot.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        now = self._now
+        time = now + delay
+        self._sequence += 1
+        if time == now and self.fastpath:
+            self._ring.append(_Call(fn, arg))
+        else:
+            heapq.heappush(self._queue, (time, self._sequence, _Call(fn, arg)))
+
+    def wake_at(self, time: float) -> Event:
+        """Return a triggered event processed at the *absolute* time ``time``.
+
+        Used by the fused worker-step path: replaying the step-by-step
+        clock additions and resuming at the replayed absolute time is the
+        only way to land on bit-identical simulated timestamps (summing the
+        deltas and yielding one relative timeout differs in the last float
+        bits).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule a wake-up at {time}, before current time {self._now}"
+            )
+        event = self.acquire_event()
+        event._triggered = True
+        self._sequence += 1
+        if time == self._now and self.fastpath:
+            self._ring.append(event)
+        else:
+            heapq.heappush(self._queue, (time, self._sequence, event))
+        return event
 
     # ------------------------------------------------------------------ running
-    def step(self) -> None:
-        """Process the next event, advancing simulated time."""
-        if not self._queue:
-            raise SimulationError("no more events to process")
-        time, _, event = heapq.heappop(self._queue)
-        if time < self._now:
-            raise SimulationError("event queue produced a time in the past")
-        self._now = time
+    def _process_item(self, item: Any) -> None:
+        """Process one popped event or callback token."""
+        if item.__class__ is _Call:
+            item.fn(item.arg)
+            return
         # Detach the (lazily allocated) callback list without allocating a
         # replacement; callbacks registered during processing are dropped,
         # exactly as with the previous swap-with-fresh-list behaviour.
-        callbacks = event._callbacks
-        event._callbacks = None
-        event._mark_processed()
+        callbacks = item._callbacks
+        item._callbacks = None
+        item._processed = True
         if callbacks:
             for callback in callbacks:
-                callback(event)
+                callback(item)
+        if item._pooled and len(self._event_pool) < _POOL_MAX:
+            self._event_pool.append(item)
+
+    def step(self) -> None:
+        """Process the next event, advancing simulated time.
+
+        Heap entries scheduled for the current time precede ring entries
+        (their sequence numbers are older); the ring is FIFO.
+        """
+        queue = self._queue
+        if queue:
+            time = queue[0][0]
+            if time <= self._now:
+                if time < self._now:
+                    raise SimulationError("event queue produced a time in the past")
+                self._process_item(heapq.heappop(queue)[2])
+                return
+        ring = self._ring
+        if ring:
+            self._process_item(ring.popleft())
+            return
+        if not queue:
+            raise SimulationError("no more events to process")
+        time, _, item = heapq.heappop(queue)
+        self._now = time
+        self._process_item(item)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue is empty or ``until`` is reached.
@@ -115,16 +262,76 @@ class Simulator:
                 f"cannot run until {until}, which is before current time {self._now}"
             )
         self._running = True
+        # Hoisted locals: this loop is the single hottest code path of the
+        # whole simulator.
+        queue = self._queue
+        ring = self._ring
+        heappop = heapq.heappop
+        call_cls = _Call
+        pool = self._event_pool
         try:
-            while self._queue:
-                next_time = self._queue[0][0]
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                self.step()
+            if until is None:
+                # Leanest variant of the loop: no cutoff checks (the
+                # dominant call shape — full epoch runs).
+                while True:
+                    if queue:
+                        time = queue[0][0]
+                        if ring and time > self._now:
+                            # Ring entries live at the current time and
+                            # their sequence numbers are newer than any heap
+                            # entry at the current time, older than later
+                            # heap times.
+                            item = ring.popleft()
+                        else:
+                            item = heappop(queue)[2]
+                            self._now = time
+                    elif ring:
+                        item = ring.popleft()
+                    else:
+                        break
+                    # Inlined _process_item.
+                    if item.__class__ is call_cls:
+                        item.fn(item.arg)
+                    else:
+                        callbacks = item._callbacks
+                        item._callbacks = None
+                        item._processed = True
+                        if callbacks:
+                            for callback in callbacks:
+                                callback(item)
+                        if item._pooled and len(pool) < _POOL_MAX:
+                            pool.append(item)
             else:
-                if until is not None:
-                    self._now = until
+                while True:
+                    if queue:
+                        time = queue[0][0]
+                        if ring and time > self._now:
+                            item = ring.popleft()
+                        elif time > until:
+                            # The ring is necessarily empty here: its entries
+                            # live at the current time, which never exceeds
+                            # ``until``.
+                            self._now = until
+                            break
+                        else:
+                            item = heappop(queue)[2]
+                            self._now = time
+                    elif ring:
+                        item = ring.popleft()
+                    else:
+                        self._now = until
+                        break
+                    if item.__class__ is call_cls:
+                        item.fn(item.arg)
+                    else:
+                        callbacks = item._callbacks
+                        item._callbacks = None
+                        item._processed = True
+                        if callbacks:
+                            for callback in callbacks:
+                                callback(item)
+                        if item._pooled and len(pool) < _POOL_MAX:
+                            pool.append(item)
         finally:
             self._running = False
         return self._now

@@ -13,12 +13,30 @@ Delivery on each directed node pair is FIFO — a message sent earlier is never
 delivered after one sent later on the same channel.  This mirrors the paper's
 assumption that the network layer (TCP in PS-Lite and Lapse) preserves message
 order, which both consistency theorems rely on.
+
+Hot-path design (docs/architecture.md, "Simulation engine performance"):
+
+* **Per-lane state** — each (source node, destination address) pair resolves
+  once to a :class:`_Lane` carrying the destination node, mailbox, channel
+  key, and delivery clock, so a send performs a single dict lookup instead of
+  separate address/node/clock lookups.
+* **Message coalescing** — wire messages that would be *delivered* to the same
+  address at the same simulated instant share one kernel delivery event; their
+  payloads are handed to the mailbox in global send order, which is exactly
+  the order the per-message delivery events would have produced (all same-time
+  deliveries to one single-consumer mailbox are order-equivalent to their
+  batched form).  Coalescing changes only the number of *kernel events*, never
+  the number of simulated messages: :class:`NetworkStats` keeps counting one
+  logical message per ``send`` call, and additionally reports
+  ``delivery_events`` / ``coalesced_messages`` so the physical batching is
+  observable.  Disabled when the simulator was built under
+  ``REPRO_DISABLE_FASTPATH=1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.config import CostModel
 from repro.errors import NetworkError
@@ -28,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simnet.kernel import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic counters maintained by :class:`Network`.
 
@@ -40,6 +58,11 @@ class NetworkStats:
         per_channel_messages: Remote message counts keyed by (src_node, dst_node).
         dropped_messages: Messages blackholed because their source or
             destination node had failed (elastic cluster runtime).
+        delivery_events: Kernel delivery events scheduled (coalesced batches
+            count once).  Equals ``messages_sent - coalesced_messages``
+            (dropped messages are never counted in ``messages_sent``).
+        coalesced_messages: Messages that shared a previously scheduled
+            delivery event (same destination address and delivery instant).
     """
 
     messages_sent: int = 0
@@ -48,20 +71,14 @@ class NetworkStats:
     bytes_sent: int = 0
     per_channel_messages: Dict[Tuple[int, int], int] = field(default_factory=dict)
     dropped_messages: int = 0
+    delivery_events: int = 0
+    coalesced_messages: int = 0
 
-    def record(self, src_node: int, dst_node: int, size_bytes: int) -> None:
-        """Record one message from ``src_node`` to ``dst_node``."""
-        self.messages_sent += 1
-        if src_node == dst_node:
-            self.local_messages += 1
-            return
-        self.remote_messages += 1
-        self.bytes_sent += size_bytes
-        channel = (src_node, dst_node)
-        self.per_channel_messages[channel] = self.per_channel_messages.get(channel, 0) + 1
+    # Counters are updated inline by :meth:`Network.send` (the hot path); this
+    # class is pure data.
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Envelope:
     """A message in flight: payload plus routing metadata."""
 
@@ -71,6 +88,28 @@ class Envelope:
     payload: Any
     size_bytes: int
     sent_at: float
+
+
+class _Lane:
+    """Resolved per-(source node, destination address) sending state."""
+
+    __slots__ = ("dst_node", "put", "channel", "local")
+
+    def __init__(self, dst_node: int, put, src_node: int) -> None:
+        self.dst_node = dst_node
+        #: Delivery target: the mailbox's ``put`` or an attached sink callable.
+        self.put = put
+        self.channel = (src_node, dst_node)
+        self.local = src_node == dst_node
+
+
+class _ChannelClock:
+    """Mutable FIFO clock shared by all lanes of one directed node pair."""
+
+    __slots__ = ("last",)
+
+    def __init__(self) -> None:
+        self.last = 0.0
 
 
 class Network:
@@ -86,8 +125,15 @@ class Network:
         self.stats = NetworkStats()
         self._mailboxes: Dict[Hashable, MessageQueue] = {}
         self._address_node: Dict[Hashable, int] = {}
-        self._channel_clock: Dict[Tuple[int, int], float] = {}
+        self._channel_clock: Dict[Tuple[int, int], _ChannelClock] = {}
         self._failed_nodes: set = set()
+        #: Resolved lanes: (src_node, dst_address) -> (_Lane, _ChannelClock).
+        self._lanes: Dict[Tuple[int, Hashable], Tuple[_Lane, _ChannelClock]] = {}
+        #: Delivery sinks replacing a mailbox (reactive consumers, e.g. vans).
+        self._sinks: Dict[Hashable, Any] = {}
+        #: In-flight coalesced batches: (dst_address, deliver_at) -> payloads.
+        self._pending_batches: Dict[Tuple[Hashable, float], List[Any]] = {}
+        self._coalesce = sim.fastpath
 
     # ---------------------------------------------------------- node lifecycle
     @property
@@ -132,14 +178,49 @@ class Network:
         except KeyError:
             raise NetworkError(f"unknown address {address!r}") from None
 
+    def attach_sink(self, address: Hashable, consume) -> None:
+        """Deliver ``address``'s messages to ``consume(payload)`` directly.
+
+        For purely *reactive* consumers — handlers that charge no processing
+        cost and run immediately on arrival (the client van, which only
+        demultiplexes responses).  Bypassing the mailbox/process pair removes
+        two kernel events per delivered message.  The handler runs at the
+        exact delivery instant, which is when the consuming process would
+        have been resumed.  Must be attached before the first send resolves a
+        lane to ``address``.
+        """
+        if address not in self._mailboxes:
+            raise NetworkError(f"unknown address {address!r}")
+        if any(key[1] == address for key in self._lanes):
+            raise NetworkError(
+                f"cannot attach a sink to {address!r}: a sender already "
+                "resolved a lane to its mailbox"
+            )
+        self._sinks[address] = consume
+
     # ----------------------------------------------------------------- sending
+    def _lane(self, src_node: int, dst_address: Hashable) -> Tuple[_Lane, _ChannelClock]:
+        key = (src_node, dst_address)
+        entry = self._lanes.get(key)
+        if entry is None:
+            dst_node = self.node_of(dst_address)
+            put = self._sinks.get(dst_address)
+            if put is None:
+                put = self._mailboxes[dst_address].put
+            lane = _Lane(dst_node, put, src_node)
+            clock = self._channel_clock.get(lane.channel)
+            if clock is None:
+                clock = self._channel_clock[lane.channel] = _ChannelClock()
+            entry = self._lanes[key] = (lane, clock)
+        return entry
+
     def send(
         self,
         src_node: int,
         dst_address: Hashable,
         payload: Any,
         size_bytes: int,
-    ) -> Envelope:
+    ) -> Optional[Envelope]:
         """Send ``payload`` to ``dst_address``, charging the cost model.
 
         The message is delivered into the destination's mailbox after the
@@ -147,47 +228,79 @@ class Network:
         FIFO.
 
         Returns:
-            The :class:`Envelope` describing the in-flight message (useful for
-            tests and tracing).
+            ``None`` for a scheduled delivery.  For a message blackholed by a
+            failed node, the :class:`Envelope` describing the dropped message
+            (useful for tests and tracing); the routing metadata of delivered
+            messages is no longer materialized on the hot path.
         """
         if size_bytes < 0:
             raise NetworkError(f"message size must be non-negative, got {size_bytes}")
-        dst_node = self.node_of(dst_address)
-        envelope = Envelope(
-            src_node=src_node,
-            dst_node=dst_node,
-            dst_address=dst_address,
-            payload=payload,
-            size_bytes=size_bytes,
-            sent_at=self.sim.now,
-        )
+        lane, channel_clock = self._lane(src_node, dst_address)
+        dst_node = lane.dst_node
+        sim = self.sim
+        now = sim._now
+        stats = self.stats
         if self._failed_nodes and (
             src_node in self._failed_nodes or dst_node in self._failed_nodes
         ):
             # A failed node neither sends nor receives; the message vanishes
             # without charging the cost model or the traffic counters.
-            self.stats.dropped_messages += 1
-            return envelope
-        self.stats.record(src_node, dst_node, size_bytes)
-        delay = self._delivery_delay(src_node, dst_node, size_bytes)
-        deliver_at = self._fifo_delivery_time(src_node, dst_node, delay)
-        event = self.sim.event()
-        event.callbacks.append(lambda _evt, env=envelope: self._deliver(env))
-        event.succeed(delay=deliver_at - self.sim.now)
-        return envelope
+            stats.dropped_messages += 1
+            return Envelope(
+                src_node=src_node,
+                dst_node=dst_node,
+                dst_address=dst_address,
+                payload=payload,
+                size_bytes=size_bytes,
+                sent_at=now,
+            )
+        stats.messages_sent += 1
+        cost = self.cost_model
+        if lane.local:
+            stats.local_messages += 1
+            delay = cost.ipc_access_latency
+        else:
+            stats.remote_messages += 1
+            stats.bytes_sent += size_bytes
+            per_channel = stats.per_channel_messages
+            channel = lane.channel
+            per_channel[channel] = per_channel.get(channel, 0) + 1
+            delay = cost.message_time(size_bytes)
+        earliest = now + delay
+        last = channel_clock.last
+        deliver_at = earliest if earliest > last else last
+        channel_clock.last = deliver_at
+        if self._coalesce:
+            batches = self._pending_batches
+            batch_key = (dst_address, deliver_at)
+            batch = batches.get(batch_key)
+            if batch is not None:
+                # A delivery event for this address and instant is already
+                # scheduled: ride along.  Append order equals global send
+                # order, which is the order the separate delivery events
+                # would have delivered in.
+                batch.append(payload)
+                stats.coalesced_messages += 1
+                return None
+            batch = [payload]
+            batches[batch_key] = batch
+            stats.delivery_events += 1
+            sim.call_later(
+                deliver_at - now, self._deliver_batch, (batch_key, batch, lane.put)
+            )
+        else:
+            stats.delivery_events += 1
+            sim.call_later(deliver_at - now, lane.put, payload)
+        return None
+
+    def _deliver_batch(self, arg: Tuple[Tuple[Hashable, float], List[Any], Any]) -> None:
+        batch_key, batch, put = arg
+        del self._pending_batches[batch_key]
+        for payload in batch:
+            put(payload)
 
     def _delivery_delay(self, src_node: int, dst_node: int, size_bytes: int) -> float:
+        """One-way delay for a message on this channel (kept for tests)."""
         if src_node == dst_node:
             return self.cost_model.ipc_access_latency
         return self.cost_model.message_time(size_bytes)
-
-    def _fifo_delivery_time(self, src_node: int, dst_node: int, delay: float) -> float:
-        channel = (src_node, dst_node)
-        earliest = self.sim.now + delay
-        last = self._channel_clock.get(channel, 0.0)
-        deliver_at = max(earliest, last)
-        self._channel_clock[channel] = deliver_at
-        return deliver_at
-
-    def _deliver(self, envelope: Envelope) -> None:
-        self._mailboxes[envelope.dst_address].put(envelope.payload)

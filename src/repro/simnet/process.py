@@ -10,6 +10,14 @@ wants to wait for:
 
 A :class:`Process` is itself an event: it triggers with the generator's return
 value when the generator completes, so processes can wait for each other.
+
+Hot-path note: plain ``float``/``int`` yields — the dominant yield kind on the
+simulator's hot path (server processing costs, compute times) — do not
+allocate a :class:`Timeout` event at all when the engine fast paths are on;
+the resume is scheduled directly as a kernel callback token
+(:meth:`Simulator.call_later`), which is order-identical to the Timeout it
+replaces.  Exotic numerics (NumPy scalars) and the reference engine
+(``REPRO_DISABLE_FASTPATH=1``) keep the original Timeout path.
 """
 
 from __future__ import annotations
@@ -47,12 +55,28 @@ class Process(Event):
         return not self.triggered
 
     def _resume(self, event: Event) -> None:
+        if event._exception is None:
+            self._step(event._value)
+            return
+        # Failure path (rare): throw the exception into the generator.
         self._waiting_on = None
         try:
-            if event.ok:
-                yielded = self._generator.send(event.value)
-            else:
-                yielded = self._generator.throw(event.exception)
+            yielded = self._generator.throw(event._exception)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            if self._callbacks:
+                self.fail(exc)
+                return
+            raise
+        self._dispatch(yielded)
+
+    def _step(self, value: Any) -> None:
+        """Resume the generator with ``value`` (the hot success path)."""
+        self._waiting_on = None
+        try:
+            yielded = self._generator.send(value)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
@@ -65,22 +89,49 @@ class Process(Event):
                 self.fail(exc)
                 return
             raise
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        """Wait on whatever the generator yielded."""
+        cls = yielded.__class__
+        if cls is float or cls is int:
+            # Timeout fast path: schedule the resume directly, no Event.
+            sim = self.sim
+            if sim.fastpath:
+                sim.call_later(yielded, self._step, None)
+                return
+        elif isinstance(yielded, Event):
+            # Inlined _wait_on for the dominant event-yield case.
+            if yielded.sim is not self.sim:
+                raise ProcessError("process yielded an event from a different simulator")
+            self._waiting_on = yielded
+            if not yielded._processed:
+                callbacks = yielded._callbacks
+                if callbacks is None:
+                    yielded._callbacks = [self._resume]
+                else:
+                    callbacks.append(self._resume)
+                return
         self._wait_on(self._to_event(yielded))
 
     def _wait_on(self, target: Event) -> None:
         self._waiting_on = target
-        if target.processed:
+        if target._processed:
             # The target already happened (e.g. an immediately-available queue
             # item processed earlier this step); resume via a zero-delay event
             # to keep resumption ordering consistent.
-            relay = Event(self.sim)
+            relay = self.sim.acquire_event()
             relay.callbacks.append(self._resume)
             if target.ok:
                 relay.succeed(target.value)
             else:
                 relay.fail(target.exception)  # type: ignore[arg-type]
         else:
-            target.callbacks.append(self._resume)
+            callbacks = target._callbacks
+            if callbacks is None:
+                target._callbacks = [self._resume]
+            else:
+                callbacks.append(self._resume)
 
     def _to_event(self, yielded: Any) -> Event:
         if isinstance(yielded, Event):

@@ -53,8 +53,14 @@ class MessageQueue:
             self._items.append(item)
 
     def get(self) -> Event:
-        """Return an event that triggers with the next item."""
-        event = Event(self.sim)
+        """Return an event that triggers with the next item.
+
+        The event is pooled: ``get`` is called once per server/van loop
+        iteration, making getter events one of the most allocated objects on
+        the hot path.  Callers (the waiting process) do not retain the event
+        past its processing, which is the pool-safety requirement.
+        """
+        event = self.sim.acquire_event()
         if self._items:
             event.succeed(self._items.popleft())
         else:

@@ -224,9 +224,9 @@ class TestBatchErrors:
 class TestSparseInPlaceAdd:
     def test_add_does_not_reallocate(self):
         store = SparseStorage(8, VALUE_LENGTH, initial_keys=[3])
-        row_before = store._values[3]
+        slab_before = store._matrix
         store.add(3, np.ones(VALUE_LENGTH))
-        assert store._values[3] is row_before  # updated in place
+        assert store._matrix is slab_before  # slab row updated in place
 
     def test_add_does_not_mutate_caller_arrays(self):
         store = SparseStorage(8, VALUE_LENGTH)
