@@ -1,0 +1,169 @@
+"""Durability benchmark: WAL/checkpoint overhead and crash-recovery exactness.
+
+The durability subsystem (``repro.durability``) gives the simulated parameter
+server crash consistency: every parameter mutation is appended to a per-node
+delta WAL under a cluster-wide LSN order, checkpoints bound replay, and a
+crashed node's keys are rebuilt from checkpoint + WAL-suffix replay.  This
+benchmark runs, per management system, a failure-free *reference* and a
+*durable* run that crashes a node at the first epoch boundary and restarts
+it immediately, and reports:
+
+* recovery outcome — keys lost, keys rebuilt from the durable log, deltas
+  replayed (pure-relocation systems have exactly one copy of every key, so
+  without the WAL a crash is lossy);
+* WAL/checkpoint activity — appends, logged bytes, checkpoints taken;
+* exactness — whether the recovered run's final model is **bit-identical**
+  to the failure-free reference.
+
+Expected shape:
+
+* **lapse** and **hybrid** (relocation-capable) absorb the crash with zero
+  lost keys and a bit-identical final model — the headline property of the
+  subsystem;
+* the static **classic** PS cannot re-home keys, so no failure is injected;
+  its row instead proves the installed WAL is behavior-inert (the durable
+  run matches the reference exactly).
+
+Every run also asserts **determinism**: the same seed must reproduce the
+crash-and-recovery lifecycle bit-identically (simulated times, counters,
+and final parameters).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py            # full run
+    PYTHONPATH=src python benchmarks/bench_durability.py --smoke    # CI-sized run
+"""
+
+import json
+import os
+import platform
+import sys
+
+from benchmark_utils import REPO_ROOT, WORKERS_PER_NODE, make_arg_parser
+
+from repro.experiments import MFScale, format_table
+from repro.experiments.scenarios import (
+    DURABILITY_RECOVERY_SYSTEMS,
+    durability_recovery_scenario,
+)
+
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_DURABILITY.json")
+
+#: CI-sized lifecycle: enough keys and entries that the crashed node owns a
+#: meaningful shard and the WAL sees real traffic.
+SMOKE_SCALE = MFScale(num_rows=120, num_cols=32, num_entries=2000, rank=4)
+#: Full-size lifecycle (same shape, more data and keys).
+FULL_SCALE = MFScale(num_rows=320, num_cols=64, num_entries=8000, rank=8)
+
+TABLE_COLUMNS = (
+    "system",
+    "fail_injected",
+    "baseline_epoch_s",
+    "recovery_epoch_s",
+    "final_epoch_s",
+    "lost_keys",
+    "recovered_keys",
+    "wal_recovered_keys",
+    "replayed_deltas",
+    "wal_appends",
+    "checkpoints",
+    "params_match_reference",
+    "fail_node_state",
+)
+
+
+def run_lifecycle(scale, seed):
+    return durability_recovery_scenario(
+        systems=DURABILITY_RECOVERY_SYSTEMS,
+        scale=scale,
+        seed=seed,
+        workers_per_node=WORKERS_PER_NODE,
+    )
+
+
+def row_of(rows, system):
+    return next(row for row in rows if row["system"] == system)
+
+
+def assert_shape(rows):
+    """The acceptance shape of the durability subsystem (see module docstring)."""
+    classic = row_of(rows, "classic")
+    lapse = row_of(rows, "lapse")
+    hybrid = row_of(rows, "hybrid")
+    # Relocation-capable systems: crash injected, nothing lost, recovery is
+    # exact to the bit.
+    for row in (lapse, hybrid):
+        assert row["fail_injected"], row["system"]
+        assert row["lost_keys"] == 0, row["system"]
+        assert row["recovered_keys"] > 0, row["system"]
+        assert row["params_match_reference"], row["system"]
+        assert row["fail_node_state"] == "active", row["system"]
+    # Pure relocation has no replicas: every recovered key came from the log.
+    assert lapse["wal_recovered_keys"] > 0
+    assert lapse["replayed_deltas"] > 0
+    # Static partitioning cannot recover; its WAL must be inert instead.
+    assert not classic["fail_injected"]
+    assert classic["wal_appends"] > 0
+    assert classic["params_match_reference"]
+
+
+def assert_determinism(scale, seed):
+    """Same seed => bit-identical crash-and-recovery run."""
+    first = run_lifecycle(scale, seed)
+    second = run_lifecycle(scale, seed)
+    for row_a, row_b in zip(first, second):
+        assert row_a == row_b, (
+            f"durable run of {row_a['system']!r} is not deterministic: "
+            f"{row_a} != {row_b}"
+        )
+    return first
+
+
+def main(argv=None):
+    parser = make_arg_parser(__doc__.splitlines()[0], default_out=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+
+    print("crash-and-recovery lifecycle (determinism-checked) ...", flush=True)
+    rows = assert_determinism(scale, args.seed)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=TABLE_COLUMNS,
+            title="Durability: crash at an epoch boundary, restart, recover",
+        )
+    )
+    assert_shape(rows)
+
+    lapse = row_of(rows, "lapse")
+    print()
+    print(
+        f"  lapse crash: {lapse['wal_recovered_keys']} keys rebuilt from the "
+        f"durable log ({lapse['replayed_deltas']} deltas replayed over "
+        f"{lapse['checkpoints']} checkpoints), 0 lost, final model "
+        f"bit-identical to the failure-free run"
+    )
+    print(
+        f"  WAL traffic: {lapse['wal_appends']} appends, "
+        f"{lapse['wal_bytes']} logged bytes"
+    )
+
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "seed": args.seed,
+        "workers_per_node": WORKERS_PER_NODE,
+        "determinism": "ok",
+        "rows": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,9 @@ runtime drives it through the transitions below.
 ::
 
     left ──join──▶ joining ──rebalance done──▶ active ──drain──▶ draining
-                      │                           │                 │
-                      └──────fail──▶  failed  ◀───┴──────fail───────┘
-                                                  draining ──empty──▶ left
+                      │  ▲                        │                 │
+                      └──│───fail──▶  failed  ◀───┴──────fail───────┘
+                         └─────rejoin────┘        draining ──empty──▶ left
 
 * ``left`` — not part of the cluster (reserve capacity, or gracefully
   departed).  Holds no keys, runs no workers.
@@ -25,7 +25,10 @@ runtime drives it through the transitions below.
   allocation) keeps the node ``draining`` forever — precisely the
   inelasticity the paper ascribes to classic parameter servers.
 * ``failed`` — crashed: its traffic is dropped, its keys are recovered from
-  replicas or declared lost.  Terminal.
+  replicas or the durable log, or declared lost.  Terminal unless the
+  machine comes back: ``rejoin`` restarts it through the normal ``joining``
+  path (empty-handed — its volatile state died with it; the rebalancer
+  migrates a fresh key share to it like any other joiner).
 
 Node 0 is the *seed node* (it hosts the barrier coordinator and anchors the
 control plane) and can never drain, fail, or leave.
@@ -149,6 +152,10 @@ class Membership:
     def fail(self, node: int, time: float = 0.0) -> None:
         """A member crashes (``joining/active/draining -> failed``, terminal)."""
         self._transition(node, (JOINING, ACTIVE, DRAINING), FAILED, time)
+
+    def rejoin(self, node: int, time: float = 0.0) -> None:
+        """A crashed machine comes back empty-handed (``failed -> joining``)."""
+        self._transition(node, (FAILED,), JOINING, time)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         summary = ", ".join(f"{node}:{state}" for node, state in sorted(self._states.items()))

@@ -14,13 +14,21 @@ The :class:`Rebalancer` translates membership events into parameter movement:
   applications keep localizing while the drain is in flight, the runtime
   re-sweeps at epoch boundaries until the node owns nothing.
 * **fail** — the failed node's keys are re-homed (which requires a
-  relocation-capable policy); each key that a surviving node replicates
-  (the hybrid policy) is *recovered*: the holder ships
-  its copy to the new owner in a :class:`~repro.ps.messages.RecoveryInstall`,
-  which also hands over broadcast duties for the remaining replica holders.
-  Keys without a surviving replica are *lost*: re-initialized to zeros and
-  counted in :attr:`~repro.ps.metrics.PSMetrics.lost_keys` — the price of
-  pure relocation, which keeps exactly one copy of every parameter.
+  relocation-capable policy) and restored from the best surviving source.
+  With the durability subsystem installed (``supports_wal_recovery``), the
+  dead node's latest checkpoint plus WAL-suffix replay reproduces its store
+  exactly as of the crash instant, and keys whose relocation transfer was on
+  the wire are restored from the old owner's ``remove`` record.  Otherwise,
+  each key that a surviving node replicates (the hybrid policy) is
+  *recovered*: the holder ships its copy to the new owner in a
+  :class:`~repro.ps.messages.RecoveryInstall`, which also hands over
+  broadcast duties for the remaining replica holders.  Both paths install
+  through the same ``RecoveryInstall`` handler — replica sync and crash
+  recovery are two consumers of one log.  Keys with no surviving source are
+  *lost*: re-initialized to zeros and counted in
+  :attr:`~repro.ps.metrics.PSMetrics.lost_keys` — the price of pure
+  relocation without durability, which keeps exactly one copy of every
+  parameter.
 
 Modeling note: home-table handoff and membership bookkeeping are applied
 atomically at event time (a configuration-service control plane); all
@@ -88,6 +96,20 @@ class Rebalancer:
     def supports_replica_recovery(self) -> bool:
         """Whether failed keys can be restored from surviving replicas."""
         return self.ps.management_policy.supports_replica_recovery
+
+    @property
+    def supports_wal_recovery(self) -> bool:
+        """Whether failed keys can be restored from checkpoints + WAL replay.
+
+        Requires the durability subsystem to be installed on the PS *and* a
+        policy whose ``RecoveryInstall`` path can absorb restored keys (plus
+        rebalance support, since recovered keys must be re-homed).
+        """
+        return (
+            self.ps.durability is not None
+            and self.ps.management_policy.supports_wal_recovery
+            and self.supports_rebalance
+        )
 
     # ---------------------------------------------------------------- helpers
     def _eligible_owners(self) -> List[int]:
@@ -223,14 +245,41 @@ class Rebalancer:
                 for subscriber_set in state.subscribers.values():
                     subscriber_set.discard(node)
                 state.broadcast_buffer.pop(node, None)
-        # 3) Every key the failed node owned is recovered or lost.
+        # 3) Every key the failed node owned is recovered or lost.  Recovery
+        #    sources, in priority order: the durable log (checkpoint + WAL
+        #    replay — exact as of the crash instant), a `remove` record in a
+        #    survivor's WAL (the key's relocation transfer was on the wire to
+        #    the dead node), a surviving replica, nothing (lost).  Both the
+        #    WAL and the replica path install through the same
+        #    ``RecoveryInstall`` handler — two consumers of one log.
         partitioner: ElasticPartitioner = self.ps.partitioner
         value_length = ps.ps_config.value_length
+        wal_recovery = self.supports_wal_recovery
+        durable: Dict[int, np.ndarray] = {}
+        if wal_recovery:
+            durable, _replayed = ps.durability.recovered_state(node)
         recovery_groups: Dict[Tuple[int, int], List[Tuple[int, Tuple[int, ...]]]] = {}
+        wal_groups: Dict[int, List[Tuple[int, np.ndarray, Tuple[int, ...]]]] = {}
         pending: List[int] = []
         for key in self.owned_keys(node):
+            # Stale-home tolerance: a localize instruction in flight at crash
+            # time can leave the key resident on a survivor even though the
+            # home table already names the dead node as owner.  The data is
+            # safe where it is — re-point the home entry instead of
+            # restoring a stale copy over it.
+            resident_at = next(
+                (
+                    survivor
+                    for survivor in replica_sources
+                    if ps.states[survivor].storage.contains(key)
+                ),
+                None,
+            )
             target = partitioner.node_of(key)
             target_state = ps.states[target]
+            if resident_at is not None:
+                target_state.home_location[key] = resident_at
+                continue
             target_state.home_location[key] = target
             holders: List[int] = []
             if self.supports_replica_recovery:
@@ -239,11 +288,26 @@ class Rebalancer:
                     for survivor in replica_sources
                     if key in getattr(ps.states[survivor], "replicas", {})
                 ]
-            if holders:
-                source = holders[0]
+            value: Optional[np.ndarray] = None
+            if wal_recovery:
+                value = durable.get(key)
+                if value is None:
+                    # Not durably owned by anyone: the key's transfer to the
+                    # dead node vanished on the wire, so the last durable
+                    # copy rides in the old owner's `remove` record.
+                    value = ps.durability.last_removed_value(key)
+            if value is not None:
                 if key not in target_state.relocating_in:
                     # Piggyback on an in-flight application localize if one
                     # exists (its handles drain with the recovery install).
+                    target_state.relocating_in[key] = RelocatingKey(
+                        key=key, requested_at=now
+                    )
+                wal_groups.setdefault(target, []).append((key, value, tuple(holders)))
+                operation.recovered_keys += 1
+            elif holders:
+                source = holders[0]
+                if key not in target_state.relocating_in:
                     target_state.relocating_in[key] = RelocatingKey(
                         key=key, requested_at=now
                     )
@@ -256,11 +320,30 @@ class Rebalancer:
                 target_state.storage.insert(key, np.zeros(value_length))
                 target_state.metrics.lost_keys += 1
                 operation.lost_keys += 1
+        # 3b) Keys restored from the durable log install synchronously: the
+        #     read is off the crashed node's persisted state, not a network
+        #     transfer, so it rides no simulated message.  Going through the
+        #     policy's ``on_relocate`` reuses the full recovery semantics —
+        #     queued operations drain onto the new owner and (hybrid) the
+        #     surviving subscribers' broadcast duties are handed over.
+        for target in sorted(wal_groups):
+            entries = wal_groups[target]
+            target_state = ps.states[target]
+            install = RecoveryInstall(
+                keys=tuple(key for key, _value, _holders in entries),
+                values=np.stack([value for _key, value, _holders in entries]),
+                source_node=node,
+                failed_node=node,
+                subscribers=tuple(holders for _key, _value, holders in entries),
+            )
+            ps.management_policy.on_relocate(target_state, install)
+            target_state.metrics.wal_recovered_keys += len(entries)
+            operation.moved_keys += len(entries)
         # 4) Surviving holders ship their copies to the new owners.
         if pending:
             handle = OperationHandle(ps.sim, "rebalance", sorted(pending), value_length)
             operation.handle = handle
-            operation.moved_keys = len(pending)
+            operation.moved_keys += len(pending)
             for (source, target), entries in sorted(recovery_groups.items()):
                 source_state = ps.states[source]
                 keys = tuple(key for key, _holders in entries)

@@ -34,13 +34,14 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.cluster.membership import ACTIVE, DRAINING, JOINING, Membership
 from repro.cluster.rebalancer import RebalanceOperation, Rebalancer
-from repro.cluster.schedule import DRAIN, FAIL, JOIN, ClusterEvent, ClusterSchedule
+from repro.cluster.schedule import DRAIN, FAIL, JOIN, REJOIN, ClusterEvent, ClusterSchedule
 from repro.config import message_size
 from repro.errors import ClusterError
 from repro.ps.base import van_address
 from repro.ps.messages import ReplicaRegisterRequest
 from repro.ps.partition import ElasticPartitioner
 from repro.ps.policy import InstallingKey
+from repro.ps.storage import make_storage
 
 
 class ElasticCluster:
@@ -108,6 +109,16 @@ class ElasticCluster:
     def fail_at(self, time: float, node: int) -> ClusterEvent:
         """Schedule ``node`` to crash at simulated ``time``."""
         return self._add_event(ClusterEvent(time=time, kind=FAIL, node=node))
+
+    def rejoin_at(self, time: float, node: int) -> ClusterEvent:
+        """Schedule a failed ``node`` to restart (empty-handed) at ``time``.
+
+        ``fail_at(t, n)`` followed by ``rejoin_at(t, n)`` models a
+        crash-and-restart at one epoch boundary: the crash wipes the node's
+        volatile state and triggers recovery, the restart re-admits the
+        machine through the normal joining rebalance.
+        """
+        return self._add_event(ClusterEvent(time=time, kind=REJOIN, node=node))
 
     @property
     def pending_events(self) -> List[ClusterEvent]:
@@ -187,8 +198,20 @@ class ElasticCluster:
             operation = self.rebalancer.rebalance_for_drain(event.node, now)
         elif event.kind == FAIL:
             self.membership.fail(event.node, now)
+            # Order matters: blackhole the node (dropping in-flight messages
+            # addressed to it — a crash loses what was on the wire), recover
+            # its keys from replicas and/or the durable log (the recovery
+            # read needs the *pre-crash* checkpoints and WAL), then wipe its
+            # volatile state and seal its durable history.
             self.ps.network.fail_node(event.node)
             operation = self.rebalancer.recover_after_failure(event.node, now)
+            self._wipe_volatile_state(event.node)
+            if self.ps.durability is not None:
+                self.ps.durability.reset_after_crash(event.node)
+        elif event.kind == REJOIN:
+            self.membership.rejoin(event.node, now)
+            self.ps.network.restore_node(event.node)
+            operation = self.rebalancer.rebalance_for_join(event.node, now)
         else:  # pragma: no cover - ClusterEvent validates kinds
             raise ClusterError(f"unknown event kind {event.kind!r}")
         self._dynamic = True
@@ -211,11 +234,49 @@ class ElasticCluster:
             self.ps.states[node].metrics.rebalance_time.record(
                 self.ps.sim.now - operation.started_at
             )
-        if event.kind == JOIN and membership.state_of(node) == JOINING:
+        if event.kind in (JOIN, REJOIN) and membership.state_of(node) == JOINING:
             membership.complete_join(node, self.ps.sim.now)
         # Drains flip to "left" only at the next epoch boundary
         # (prepare_epoch): the drainee's workers may still be mid-epoch, and
         # applications can keep moving keys back until they stop.
+
+    def _wipe_volatile_state(self, node: int) -> None:
+        """Model the crash: the failed node's RAM is gone.
+
+        The parameter store is replaced with a fresh empty one (re-wrapped
+        in the node's WAL when durability is on — the log survives the
+        crash), and every policy-attached volatile table is cleared.  The
+        home-location table survives: it is cluster routing metadata that
+        failure recovery consults to enumerate the dead node's keys, not
+        data held in the dead node's RAM.
+        """
+        ps = self.ps
+        state = ps.states[node]
+        fresh = make_storage(
+            dense=ps.ps_config.dense_storage,
+            num_keys=ps.ps_config.num_keys,
+            value_length=ps.ps_config.value_length,
+        )
+        if ps.durability is not None:
+            fresh = ps.durability.wrap_fresh_storage(node, fresh)
+        state.storage = fresh
+        for attr in (
+            "relocating_in",
+            "last_transfer",
+            "location_cache",
+            "replicas",
+            "pending_updates",
+            "installing",
+            "subscribers",
+            "broadcast_buffer",
+            "subscriptions",
+            "flush_counts",
+            "pending_flush_acks",
+            "pending_fetches",
+        ):
+            table = getattr(state, attr, None)
+            if table is not None:
+                table.clear()
 
     def _complete_drain(self, node: int) -> None:
         """Finish a graceful departure: release replicas, flip to ``left``."""

@@ -26,8 +26,9 @@ from repro.errors import ClusterError
 JOIN = "join"
 DRAIN = "drain"
 FAIL = "fail"
+REJOIN = "rejoin"
 
-KINDS = (JOIN, DRAIN, FAIL)
+KINDS = (JOIN, DRAIN, FAIL, REJOIN)
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +86,17 @@ class ClusterSchedule:
     def fail(self, time: float, node: int) -> "ClusterSchedule":
         """Schedule ``node`` to crash at ``time`` (failure injection)."""
         return self.add(ClusterEvent(time=time, kind=FAIL, node=node))
+
+    def rejoin(self, time: float, node: int) -> "ClusterSchedule":
+        """Schedule a previously failed ``node`` to come back at ``time``.
+
+        The node rejoins empty-handed (its volatile state died with the
+        crash) and goes through the normal joining rebalance.  Ordered after
+        the matching ``fail`` — schedule sorting keeps ties in insertion
+        order, so ``fail(t, n)`` followed by ``rejoin(t, n)`` models a
+        crash-and-restart at one epoch boundary.
+        """
+        return self.add(ClusterEvent(time=time, kind=REJOIN, node=node))
 
     # ----------------------------------------------------------------- queries
     @property

@@ -64,6 +64,11 @@ class ExperimentError(ReproError):
     """Raised when an experiment scenario is misconfigured."""
 
 
+class DurabilityError(ReproError):
+    """Raised for invalid durability operations (WAL replay onto a missing
+    key, checkpoint/LSN mismatches, misconfigured :class:`DurabilityConfig`)."""
+
+
 class ClusterError(ReproError):
     """Raised for invalid elastic-cluster operations (membership, schedules,
     rebalancing) — e.g. an illegal lifecycle transition or an event targeting

@@ -28,6 +28,30 @@ MANAGEMENT_COUNTERS = (
     "replica_sync_bytes",
 )
 
+#: Durability-subsystem counters (WAL, checkpoints, crash recovery).
+DURABILITY_COUNTERS = (
+    "wal_appends",
+    "wal_bytes",
+    "checkpoints",
+    "checkpoint_bytes",
+    "replayed_deltas",
+    "wal_recovered_keys",
+    "recovered_keys",
+    "lost_keys",
+)
+
+
+def all_counters() -> "tuple[str, ...]":
+    """Every counter :meth:`PSMetrics.as_dict` emits, in field order.
+
+    Derived from the dataclass itself, so a new :class:`PSMetrics` field
+    surfaces in reports without touching this module — the fix for counters
+    silently missing from hand-maintained tuples like
+    :data:`MANAGEMENT_COUNTERS`.  Usable directly as the ``counters``
+    argument of :func:`metrics_rows` (or pass ``counters="all"``).
+    """
+    return tuple(PSMetrics().as_dict().keys())
+
 
 def format_table(
     rows: Sequence[Dict[str, object]],
@@ -126,9 +150,13 @@ def metrics_rows(
     Each row identifies the run (task, system, parallelism), reports epoch
     time, locality, and traffic, and appends the requested ``counters``
     looked up in :meth:`PSMetrics.as_dict` — replacing the per-benchmark
-    metric plumbing.  Results without PS metrics (e.g. the low-level
-    baseline) leave the counter cells empty.
+    metric plumbing.  ``counters="all"`` expands to :func:`all_counters`,
+    i.e. every ``PSMetrics`` field, so no counter can be silently dropped.
+    Results without PS metrics (e.g. the low-level baseline) leave the
+    counter cells empty.
     """
+    if counters == "all":
+        counters = all_counters()
     rows: List[Dict[str, object]] = []
     for result in results:
         metrics = result.metrics

@@ -41,7 +41,7 @@ network traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster import ClusterSchedule, ElasticCluster
 from repro.config import ClusterConfig, CostModel, ParameterServerConfig
@@ -97,34 +97,50 @@ def make_parameter_server(
     cluster: ClusterConfig,
     ps_config: ParameterServerConfig,
     partitioner: Optional[KeyPartitioner] = None,
+    durability: Optional[Any] = None,
 ) -> ParameterServer:
     """Instantiate the PS variant named ``system`` on ``cluster``.
 
     ``partitioner`` optionally overrides the default range partitioner — the
     elastic experiments pass an :class:`~repro.ps.partition.ElasticPartitioner`
-    restricted to the initially active nodes.
+    restricted to the initially active nodes.  ``durability`` optionally
+    installs the durability subsystem (a
+    :class:`~repro.durability.DurabilityConfig`): per-node WAL + checkpoints;
+    ``None`` leaves the fast path untouched.
     """
     if system == "classic":
-        return ClassicIPCPS(cluster, ps_config, partitioner=partitioner)
+        return ClassicIPCPS(cluster, ps_config, partitioner=partitioner, durability=durability)
     if system == "classic_fast_local":
-        return ClassicSharedMemoryPS(cluster, ps_config, partitioner=partitioner)
+        return ClassicSharedMemoryPS(cluster, ps_config, partitioner=partitioner, durability=durability)
     if system in ("lapse", "lapse_clustering_only"):
-        return LapsePS(cluster, ps_config, partitioner=partitioner)
+        return LapsePS(cluster, ps_config, partitioner=partitioner, durability=durability)
     if system == "stale_ssp":
         return StalePS(
-            cluster, replace(ps_config, stale_server_push=False), partitioner=partitioner
+            cluster,
+            replace(ps_config, stale_server_push=False),
+            partitioner=partitioner,
+            durability=durability,
         )
     if system == "stale_ssppush":
         return StalePS(
-            cluster, replace(ps_config, stale_server_push=True), partitioner=partitioner
+            cluster,
+            replace(ps_config, stale_server_push=True),
+            partitioner=partitioner,
+            durability=durability,
         )
     if system == "replica":
         return ReplicaPS(
-            cluster, replace(ps_config, replica_sync_trigger="time"), partitioner=partitioner
+            cluster,
+            replace(ps_config, replica_sync_trigger="time"),
+            partitioner=partitioner,
+            durability=durability,
         )
     if system == "replica_clock":
         return ReplicaPS(
-            cluster, replace(ps_config, replica_sync_trigger="clock"), partitioner=partitioner
+            cluster,
+            replace(ps_config, replica_sync_trigger="clock"),
+            partitioner=partitioner,
+            durability=durability,
         )
     if system == "hybrid":
         # Threshold > 1 so that one-off reads stay relocatable: only keys a
@@ -138,6 +154,7 @@ def make_parameter_server(
                 hot_key_threshold=HYBRID_HOT_KEY_THRESHOLD,
             ),
             partitioner=partitioner,
+            durability=durability,
         )
     raise ExperimentError(f"unknown system {system!r}")
 
@@ -242,6 +259,7 @@ def run_mf_experiment(
     compute_loss: bool = False,
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
+    durability: Optional[Any] = None,
 ) -> TaskRunResult:
     """Run DSGD matrix factorization (Figures 6 and 9)."""
     scale = scale or MFScale()
@@ -298,6 +316,7 @@ def run_kge_experiment(
     compute_loss: bool = False,
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
+    durability: Optional[Any] = None,
 ) -> TaskRunResult:
     """Run knowledge-graph-embedding training (Figures 1 and 7, Table 5)."""
     scale = scale or KGEScale()
@@ -344,6 +363,7 @@ def make_elastic_mf(
     workers_per_node: int = PAPER_WORKERS_PER_NODE,
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
+    durability: Optional[Any] = None,
 ):
     """Build an elastic matrix-factorization run: ``(elastic, trainer)``.
 
@@ -366,7 +386,7 @@ def make_elastic_mf(
     partitioner = ElasticPartitioner(
         scale.num_cols, num_nodes, active_nodes=initial_nodes, kind="range"
     )
-    ps = make_parameter_server(system, cluster, ps_config, partitioner=partitioner)
+    ps = make_parameter_server(system, cluster, ps_config, partitioner=partitioner, durability=durability)
     elastic = ElasticCluster(ps, initial_nodes=initial_nodes, schedule=schedule)
     mf_config = MatrixFactorizationConfig(
         rank=scale.rank, compute_time_per_entry=scale.compute_time_per_entry
@@ -386,6 +406,7 @@ def run_elastic_mf_experiment(
     compute_loss: bool = False,
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
+    durability: Optional[Any] = None,
 ) -> TaskRunResult:
     """Elastic counterpart of :func:`run_mf_experiment`.
 
@@ -403,6 +424,7 @@ def run_elastic_mf_experiment(
         workers_per_node=workers_per_node,
         seed=seed,
         cost_model=cost_model,
+        durability=durability,
     )
     epoch_results = [
         elastic.run_epoch(trainer, compute_loss=compute_loss) for _ in range(epochs)

@@ -8,8 +8,11 @@ shape assertions in the benchmark suite.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
+from repro.durability import DurabilityConfig
 from repro.errors import ExperimentError
 from repro.experiments.runner import (
     KGEScale,
@@ -285,6 +288,120 @@ def _elastic_lifecycle_row(
         "bytes_sent": ps.network.stats.bytes_sent,
         "dropped_messages": ps.network.stats.dropped_messages,
         "drain_node_state": elastic.membership.state_of(drain_node),
+        "sim_time_s": ps.simulated_time,
+    }
+
+
+#: Systems compared by the durability scenario: the static classic PS (the
+#: WAL is inert — recovery needs re-homing), pure relocation (the paper's
+#: headline system, which durability makes crash-survivable), and the hybrid
+#: (replicas and the durable log feed one recovery path).
+DURABILITY_RECOVERY_SYSTEMS = ("classic", "lapse", "hybrid")
+
+
+def durability_recovery_scenario(
+    systems: Sequence[str] = DURABILITY_RECOVERY_SYSTEMS,
+    scale: Optional[MFScale] = None,
+    seed: int = 0,
+    workers_per_node: int = 2,
+    capacity: int = 3,
+    fail_node: int = 2,
+    durability: Optional[Any] = None,
+) -> List[Dict[str, object]]:
+    """Crash-and-restart under durability, per system, on the MF workload.
+
+    Each system runs twice with the same seed: a failure-free *reference*
+    without durability, and a *durable* run (WAL + checkpoints installed)
+    that crashes ``fail_node`` at the first epoch boundary and restarts it
+    immediately (``fail`` + ``rejoin`` at one boundary).  For
+    WAL-recovery-capable systems the row asserts the headline property of
+    the subsystem: no key is lost and the recovered run's final model
+    parameters are **bit-identical** to the failure-free reference — the
+    checkpoint + WAL-suffix replay reproduced every parameter exactly.  For
+    the static classic PS no failure is injected (recovery requires
+    re-homing); its row instead demonstrates that the installed WAL is
+    behavior-inert.
+    """
+    if not systems:
+        raise ExperimentError("at least one system is required")
+    return [
+        _durability_recovery_row(
+            system,
+            scale=scale,
+            seed=seed,
+            workers_per_node=workers_per_node,
+            capacity=capacity,
+            fail_node=fail_node,
+            durability=durability,
+        )
+        for system in systems
+    ]
+
+
+def _durability_recovery_row(
+    system: str,
+    scale: Optional[MFScale],
+    seed: int,
+    workers_per_node: int,
+    capacity: int,
+    fail_node: int,
+    durability: Optional[Any],
+) -> Dict[str, object]:
+    config = durability if durability is not None else DurabilityConfig()
+
+    # Failure-free reference, durability off: the comparison target for both
+    # the recovery-exactness and the durability-is-inert claims.
+    reference, reference_trainer = make_elastic_mf(
+        system,
+        num_nodes=capacity,
+        scale=scale,
+        workers_per_node=workers_per_node,
+        seed=seed,
+    )
+    for _ in range(3):
+        reference.run_epoch(reference_trainer, compute_loss=False)
+    reference_params = reference.ps.all_parameters()
+
+    elastic, trainer = make_elastic_mf(
+        system,
+        num_nodes=capacity,
+        scale=scale,
+        workers_per_node=workers_per_node,
+        seed=seed,
+        durability=config,
+    )
+    ps = elastic.ps
+
+    def epoch() -> float:
+        return elastic.run_epoch(trainer, compute_loss=False).duration
+
+    baseline = epoch()
+    fail_injected = elastic.rebalancer.supports_wal_recovery
+    if fail_injected:
+        now = ps.simulated_time
+        elastic.fail_at(now, fail_node)
+        elastic.rejoin_at(now, fail_node)
+    recovery_epoch = epoch()
+    final_epoch = epoch()
+    metrics = ps.metrics()
+    return {
+        "system": system,
+        "fail_injected": fail_injected,
+        "baseline_epoch_s": baseline,
+        "recovery_epoch_s": recovery_epoch,
+        "final_epoch_s": final_epoch,
+        "lost_keys": elastic.lost_keys,
+        "recovered_keys": elastic.recovered_keys,
+        "wal_recovered_keys": metrics.wal_recovered_keys,
+        "replayed_deltas": metrics.replayed_deltas,
+        "wal_appends": metrics.wal_appends,
+        "wal_bytes": metrics.wal_bytes,
+        "checkpoints": metrics.checkpoints,
+        "params_match_reference": bool(
+            np.array_equal(ps.all_parameters(), reference_params)
+        ),
+        "fail_node_state": elastic.membership.state_of(fail_node),
+        "dropped_messages": ps.network.stats.dropped_messages,
         "sim_time_s": ps.simulated_time,
     }
 

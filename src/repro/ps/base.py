@@ -693,6 +693,10 @@ class ParameterServer:
     #: Barrier quorum override (the elastic runtime shrinks/grows it with the
     #: participating worker set).  ``None`` -> all configured workers.
     _barrier_expected: Optional[int] = None
+    #: Durability manager (WAL + checkpoints), installed only when a
+    #: :class:`~repro.durability.DurabilityConfig` is passed and enabled.
+    #: ``None`` -> the stores stay unwrapped and no durability code runs.
+    durability: Optional[Any] = None
 
     def __init__(
         self,
@@ -701,6 +705,7 @@ class ParameterServer:
         initial_values: Optional[Any] = None,
         partitioner: Optional[KeyPartitioner] = None,
         partitioner_kind: str = "range",
+        durability: Optional[Any] = None,
     ) -> None:
         self.cluster = cluster
         self.ps_config = ps_config or ParameterServerConfig()
@@ -722,6 +727,14 @@ class ParameterServer:
         self._server_addresses = [server_address(i) for i in range(cluster.num_nodes)]
         self._van_addresses = [van_address(i) for i in range(cluster.num_nodes)]
         self.states: List[NodeState] = [self._make_node_state(node) for node in self.nodes]
+        if durability is not None and durability.enabled:
+            # Wrap the (still empty) stores before the initial inserts so the
+            # baseline state is itself logged; the manager then checkpoints.
+            # Imported lazily: the fast path pays nothing when durability is
+            # off, and the durability package may import repro.ps first.
+            from repro.durability import DurabilityManager
+
+            self.durability = DurabilityManager(self, durability)
         self._initialize_parameters(initial_values)
         self._start_threads()
         self._clients: Dict[Tuple[int, int], WorkerClient] = {}

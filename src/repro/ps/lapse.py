@@ -600,6 +600,16 @@ class LapsePS(ParameterServer):
         self, state: LapseNodeState, instruction: RelocateInstruction
     ) -> None:
         """Old-owner half of the protocol (message 2 handling)."""
+        membership = self.membership
+        if membership is not None and membership.state_of(instruction.new_owner) in (
+            "failed",
+            "left",
+        ):
+            # The requester crashed (or left) while the instruction was on
+            # the wire: shipping the keys would hand them to a black hole.
+            # Keep them — failure recovery's stale-home tolerance re-points
+            # their home entries back to this node.
+            return
         transfer_keys: List[int] = []
         resident = state.storage.contains_flags(instruction.keys)
         for key, is_resident in zip(instruction.keys, resident):

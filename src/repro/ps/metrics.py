@@ -97,10 +97,20 @@ class PSMetrics:
         rebalance_time: Distribution of rebalance completion times (membership
             event -> last migrated key installed), the "time-to-rebalance" of
             the elasticity benchmark.
-        recovered_keys: Keys this node recovered from surviving replicas after
-            another node failed.
+        recovered_keys: Keys this node recovered after another node failed,
+            from any source (surviving replicas or the durable log).
         lost_keys: Keys that had to be re-initialized on this node because
-            their owner failed and no surviving node held a replica.
+            their owner failed and no recovery source (replica, checkpoint,
+            or WAL record) survived.
+        wal_appends: Write-ahead-log records appended by this node.
+        wal_bytes: Serialized size of the appended WAL records (simulated
+            bytes: record header plus key and value payload).
+        checkpoints: Checkpoints of this node's parameter store taken.
+        checkpoint_bytes: Serialized size of the taken checkpoints.
+        replayed_deltas: Per-key delta rows replayed from this node's WAL
+            suffix during crash recovery (on top of its last checkpoint).
+        wal_recovered_keys: Keys installed on this node from a failed node's
+            checkpoint + WAL (a subset of ``recovered_keys``).
     """
 
     pulls_local: int = 0
@@ -137,6 +147,12 @@ class PSMetrics:
     rebalance_time: RunningStat = field(default_factory=RunningStat)
     recovered_keys: int = 0
     lost_keys: int = 0
+    wal_appends: int = 0
+    wal_bytes: int = 0
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    replayed_deltas: int = 0
+    wal_recovered_keys: int = 0
 
     @property
     def pulls_total(self) -> int:

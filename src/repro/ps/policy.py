@@ -124,6 +124,12 @@ class ManagementPolicy:
     #: requires ``supports_rebalance`` (the failed keys must be re-homed), so
     #: only the hybrid composition recovers end-to-end.
     supports_replica_recovery: bool = False
+    #: Whether failure recovery may restore this policy's keys from the
+    #: durability subsystem (checkpoint + WAL replay).  Requires the
+    #: ``RecoveryInstall`` handler of the relocation protocol plus
+    #: ``supports_rebalance`` (recovered keys must be re-homed), so static
+    #: allocations stay unrecoverable even with a WAL attached.
+    supports_wal_recovery: bool = False
     #: Per-key consistency properties retained (§3.4 / Table 1): ``eventual``,
     #: ``session`` (the four client-centric guarantees), ``causal``, and
     #: ``sequential`` (for synchronous operations).
@@ -277,6 +283,7 @@ class RelocationPolicy(ManagementPolicy):
     name = "relocation"
     supports_localize = True
     supports_rebalance = True
+    supports_wal_recovery = True
     guarantees = {
         "eventual": True,
         "session": True,
@@ -541,6 +548,7 @@ class HybridManagementPolicy(ManagementPolicy):
     supports_localize = True
     supports_rebalance = True
     supports_replica_recovery = True
+    supports_wal_recovery = True
     #: The mixed store retains only what both techniques guarantee; per-key
     #: classification is exposed via :meth:`key_guarantees`.
     guarantees = {

@@ -169,6 +169,20 @@ class ParameterStorage:
     def __contains__(self, key: int) -> bool:
         return self.contains(key)
 
+    def snapshot(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Copy the resident state out as ``(keys, values)`` arrays.
+
+        Keys are sorted ascending (int64); values hold one float64 row per
+        key.  The arrays are detached copies — later mutations of the store
+        do not affect a snapshot, which is what makes it usable as a
+        checkpoint payload.
+        """
+        keys = np.fromiter(self.keys(), dtype=np.int64)
+        keys.sort()
+        if keys.size == 0:
+            return keys, np.empty((0, self.value_length), dtype=np.float64)
+        return keys, self.get_many(keys)
+
     # ------------------------------------------------------------- batch API
     def contains_many(self, keys: Sequence[int]) -> np.ndarray:
         """Return a boolean array: whether each key is resident."""
@@ -382,6 +396,11 @@ class DenseStorage(ParameterStorage):
 
     def __len__(self) -> int:
         return int(self._present.sum())
+
+    def snapshot(self) -> "tuple[np.ndarray, np.ndarray]":
+        keys = np.flatnonzero(self._present).astype(np.int64)
+        # Fancy indexing copies, detaching the snapshot from the live store.
+        return keys, self._values[keys]
 
     # ------------------------------------------------------------- batch API
     def _is_small(self, keys: Sequence[int]) -> bool:
@@ -628,6 +647,15 @@ class SparseStorage(ParameterStorage):
 
     def __len__(self) -> int:
         return len(self._index)
+
+    def snapshot(self) -> "tuple[np.ndarray, np.ndarray]":
+        key_list = sorted(self._index.keys())
+        keys = np.asarray(key_list, dtype=np.int64)
+        if not key_list:
+            return keys, np.empty((0, self.value_length), dtype=np.float64)
+        slots = [self._index[key] for key in key_list]
+        # One gather off the slab (fancy indexing copies).
+        return keys, self._matrix[slots]
 
     # ------------------------------------------------------------- batch API
     @staticmethod

@@ -146,9 +146,20 @@ class Network:
 
         Models a crashed machine: messages already delivered stay delivered,
         but anything sent to or from the node afterwards is blackholed and
-        counted in :attr:`NetworkStats.dropped_messages`.
+        counted in :attr:`NetworkStats.dropped_messages`.  Messages still *in
+        flight* to the node vanish with it — a wire payload nobody received
+        is gone, which is exactly the window the durability subsystem's
+        fault-injection tests crash into.
         """
         self._failed_nodes.add(node)
+        if self._pending_batches:
+            address_node = self._address_node
+            for (address, _deliver_at), batch in self._pending_batches.items():
+                if batch and address_node.get(address) == node:
+                    self.stats.dropped_messages += len(batch)
+                    # Clear in place: the scheduled delivery callback shares
+                    # this list and becomes a no-op.
+                    batch.clear()
 
     def restore_node(self, node: int) -> None:
         """Reconnect a previously failed ``node`` (tests and re-join flows)."""

@@ -1,0 +1,309 @@
+"""Fault-injection tests: crashes at adversarial points in the protocols.
+
+Each test drives the simulation to a specific vulnerable interleaving —
+a relocation transfer on the wire, a drain half done, a checkpoint far in
+the past, the only replica of a key on the crashing machine — injects the
+failure there (``ElasticCluster._apply`` with a ``FAIL`` event, exactly what
+the driver does at a boundary), and asserts crash consistency: no lost keys,
+bit-identical values, and a cluster that keeps training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSchedule, ElasticCluster
+from repro.cluster.schedule import FAIL, ClusterEvent
+from repro.durability import DurabilityConfig, LoggedStorage
+from repro.experiments import MFScale, make_elastic_mf
+
+TINY = MFScale(num_rows=48, num_cols=24, num_entries=600, rank=4, compute_time_per_entry=2e-6)
+
+
+def build(system="lapse", capacity=3, seed=1, durability=DurabilityConfig(), scale=TINY):
+    elastic, trainer = make_elastic_mf(
+        system,
+        num_nodes=capacity,
+        scale=scale,
+        seed=seed,
+        workers_per_node=2,
+        durability=durability,
+    )
+    return elastic, trainer
+
+
+def crash(elastic, node):
+    """Inject a crash NOW, the same way the driver applies a due fail event."""
+    return elastic._apply(ClusterEvent(time=elastic.ps.sim.now, kind=FAIL, node=node))
+
+
+def step_until(sim, condition, max_steps=200_000):
+    for _ in range(max_steps):
+        if condition():
+            return
+        if sim.peek_time() is None:
+            raise AssertionError("simulation drained before the condition held")
+        sim.step()
+    raise AssertionError("condition never held within the step budget")
+
+
+def total_lost(ps):
+    return ps.metrics().lost_keys
+
+
+def resident_nodes(ps, key):
+    return [n for n in range(ps.cluster.num_nodes) if ps.states[n].storage.contains(key)]
+
+
+class TestInFlightRelocation:
+    """Crashes while a ``RelocationTransfer`` is on the wire (PR 4 edges)."""
+
+    def _open_transfer_window(self, elastic, trainer):
+        """Localize a key and stop inside the window where the old owner has
+        removed it but the requester has not yet received it."""
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.settle()
+        old_owner, requester = 1, 2
+        key = elastic.rebalancer.owned_keys(old_owner)[0]
+        before = ps.states[old_owner].storage.row_copy(key)
+        handle = ps.client(requester, 0).localize_async([key])
+        step_until(
+            ps.sim,
+            lambda: not ps.states[old_owner].storage.contains(key)
+            and not ps.states[requester].storage.contains(key),
+        )
+        return key, before, old_owner, requester, handle
+
+    def test_requester_crash_restores_from_remove_record(self):
+        """The transfer is scrubbed with the crashing requester; the value
+        only exists in the old owner's REMOVE record — recovery must use it."""
+        elastic, trainer = build("lapse")
+        ps = elastic.ps
+        key, before, _old_owner, requester, _handle = self._open_transfer_window(
+            elastic, trainer
+        )
+        crash(elastic, requester)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        homes = resident_nodes(ps, key)
+        assert len(homes) == 1 and homes[0] != requester
+        np.testing.assert_array_equal(ps.states[homes[0]].storage.get(key), before)
+        assert ps.metrics().wal_recovered_keys > 0
+
+    def test_old_owner_crash_delivers_transfer_and_drains_queued_ops(self):
+        """The transfer already left the old owner, so it survives the crash;
+        an op queued behind the relocation must drain onto the new owner."""
+        elastic, trainer = build("lapse")
+        ps = elastic.ps
+        key, before, old_owner, requester, handle = self._open_transfer_window(
+            elastic, trainer
+        )
+        # Queue a pull behind the in-flight relocation from a third node.
+        pull = ps.client(0, 0).pull_async([key])
+        crash(elastic, old_owner)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        assert resident_nodes(ps, key) == [requester]
+        np.testing.assert_array_equal(ps.states[requester].storage.get(key), before)
+        assert handle.done
+        assert pull.done
+        np.testing.assert_array_equal(pull.values()[0], before)
+
+    def test_each_key_resident_exactly_once_after_crash(self):
+        elastic, trainer = build("lapse")
+        ps = elastic.ps
+        self._open_transfer_window(elastic, trainer)
+        crash(elastic, 1)
+        elastic.settle()
+        counts = np.zeros(ps.ps_config.num_keys, dtype=int)
+        for node in range(ps.cluster.num_nodes):
+            for key in ps.states[node].storage.keys():
+                counts[key] += 1
+        assert (counts == 1).all()
+
+
+class TestSoleReplicaCrash:
+    """Crash of the node holding the only replica of a key (hybrid)."""
+
+    def _find_sole_replica(self, ps):
+        """Return ``(key, owner, holder)`` where ``holder`` has the only
+        replica of ``key``; node 0 is excluded on both sides so both machines
+        may crash (recovery always needs a surviving node)."""
+        for owner in range(1, ps.cluster.num_nodes):
+            subscribers = getattr(ps.states[owner], "subscribers", {})
+            for key, holders in subscribers.items():
+                holders = [n for n in holders if n != owner]
+                if len(holders) == 1 and holders[0] not in (0, owner):
+                    return key, owner, holders[0]
+        raise AssertionError("no sole-replica key found")
+
+    def test_owner_keeps_serving_bit_identically(self):
+        elastic, trainer = build("hybrid")
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.ensure_backups()
+        elastic.settle()
+        key, owner, holder = self._find_sole_replica(ps)
+        before = ps.states[owner].storage.row_copy(key)
+        crash(elastic, holder)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        np.testing.assert_array_equal(ps.states[owner].storage.get(key), before)
+
+    def test_owner_crash_after_sole_replica_died_recovers_from_wal(self):
+        """Double failure: the replica died first, so only the durable log
+        can restore the owner's keys."""
+        elastic, trainer = build("hybrid")
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.ensure_backups()
+        elastic.settle()
+        key, owner, holder = self._find_sole_replica(ps)
+        reference = ps.all_parameters()
+        crash(elastic, holder)
+        elastic.settle()
+        crash(elastic, owner)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        assert ps.metrics().wal_recovered_keys > 0
+        np.testing.assert_array_equal(ps.all_parameters(), reference)
+
+    def test_without_durability_double_failure_loses_keys(self):
+        """Contrast: the same double failure without the WAL is lossy —
+        exactly the gap the durability subsystem closes."""
+        elastic, trainer = build("hybrid", durability=None)
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.ensure_backups()
+        elastic.settle()
+        key, owner, holder = self._find_sole_replica(ps)
+        crash(elastic, holder)
+        elastic.settle()
+        crash(elastic, owner)
+        elastic.settle()
+        assert total_lost(ps) > 0
+
+
+class TestCheckpointWalBoundary:
+    """Crashes between a checkpoint and later WAL appends."""
+
+    def test_checkpoint_plus_replay_equals_live_store(self):
+        """Core invariant, checked without crashing: for every node, restore
+        latest checkpoint + replay WAL suffix == live store, bit-identical."""
+        elastic, trainer = build("lapse")
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.settle()
+        for node in range(ps.cluster.num_nodes):
+            durable, _replayed = ps.durability.recovered_state(node)
+            keys, values = ps.states[node].storage.snapshot()
+            assert sorted(durable.keys()) == keys.tolist()
+            for index, key in enumerate(keys.tolist()):
+                assert np.array_equal(durable[key], values[index])
+
+    def test_stale_checkpoint_forces_replay(self):
+        """With checkpoints effectively disabled after the baseline, recovery
+        must replay the whole epoch's deltas — and still lose nothing."""
+        elastic, trainer = build(
+            "lapse", durability=DurabilityConfig(checkpoint_interval=1e9)
+        )
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.settle()
+        reference = ps.all_parameters()
+        crash(elastic, 2)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        assert ps.metrics().replayed_deltas > 0
+        np.testing.assert_array_equal(ps.all_parameters(), reference)
+
+    def test_truncation_does_not_break_recovery(self):
+        elastic, trainer = build(
+            "lapse",
+            durability=DurabilityConfig(
+                checkpoint_interval=0.01, truncate_on_checkpoint=True
+            ),
+        )
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.settle()
+        reference = ps.all_parameters()
+        crash(elastic, 1)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        np.testing.assert_array_equal(ps.all_parameters(), reference)
+        assert ps.metrics().checkpoints > ps.cluster.num_nodes  # beyond baseline
+
+
+class TestCrashDuringDrain:
+    def test_drainee_crash_mid_drain_loses_nothing(self):
+        elastic, trainer = build("lapse")
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.settle()
+        reference = ps.all_parameters()
+        drainee = 1
+        initial = len(ps.states[drainee].storage)
+        assert initial > 0
+        elastic.membership.begin_drain(drainee, ps.sim.now)
+        elastic.rebalancer.rebalance_for_drain(drainee, ps.sim.now)
+
+        def some_key_is_on_the_wire():
+            resident = set()
+            for node in range(ps.cluster.num_nodes):
+                resident.update(ps.states[node].storage.keys())
+            return len(resident) < ps.ps_config.num_keys
+
+        step_until(ps.sim, some_key_is_on_the_wire)
+        crash(elastic, drainee)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        np.testing.assert_array_equal(ps.all_parameters(), reference)
+        assert len(ps.states[drainee].storage) == 0
+
+
+class TestDisabledPath:
+    def test_no_config_means_no_manager_and_bare_storage(self):
+        elastic, _trainer = build("lapse", durability=None)
+        assert elastic.ps.durability is None
+        assert not isinstance(elastic.ps.states[0].storage, LoggedStorage)
+
+    def test_disabled_config_means_no_manager(self):
+        elastic, _trainer = build(
+            "lapse", durability=DurabilityConfig(enabled=False)
+        )
+        assert elastic.ps.durability is None
+        assert not isinstance(elastic.ps.states[0].storage, LoggedStorage)
+
+    @pytest.mark.parametrize("system", ["lapse", "hybrid"])
+    def test_durability_on_is_inert_without_failures(self, system):
+        """With no crash, durability must not change simulated behavior at
+        all: same epoch times, same traffic, bit-identical model."""
+        results = {}
+        for label, durability in (("off", None), ("on", DurabilityConfig())):
+            elastic, trainer = build(system, durability=durability)
+            elastic.run_epoch(trainer, compute_loss=False)
+            elastic.run_epoch(trainer, compute_loss=False)
+            elastic.settle()
+            results[label] = (
+                elastic.ps.simulated_time,
+                elastic.ps.network.stats.messages_sent,
+                elastic.ps.all_parameters(),
+            )
+        assert results["on"][0] == results["off"][0]
+        assert results["on"][1] == results["off"][1]
+        np.testing.assert_array_equal(results["on"][2], results["off"][2])
+
+
+class TestLiveness:
+    def test_cluster_keeps_training_after_crash(self):
+        elastic, trainer = build("lapse")
+        ps = elastic.ps
+        elastic.run_epoch(trainer, compute_loss=False)
+        crash(elastic, 2)
+        elastic.settle()
+        before = ps.all_parameters().copy()
+        elastic.run_epoch(trainer, compute_loss=False)
+        elastic.settle()
+        assert total_lost(ps) == 0
+        assert not np.array_equal(ps.all_parameters(), before)  # it trained

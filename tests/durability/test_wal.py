@@ -1,0 +1,226 @@
+"""Unit tests for the durability primitives: LSN clock, delta WAL, logged store.
+
+Covers the WAL contract the recovery path builds on: globally ordered LSNs,
+record kinds, suffix queries and truncation, the transparent
+:class:`LoggedStorage` proxy (reads and writes behave exactly like the bare
+store while every mutation lands in the log), checkpoint snapshots, and the
+metrics plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.durability import (
+    WAL_DELTA,
+    WAL_INSERT,
+    WAL_KINDS,
+    WAL_REMOVE,
+    WAL_SET,
+    DeltaWAL,
+    DurabilityConfig,
+    LoggedStorage,
+    LSNClock,
+    replay_records,
+    take_checkpoint,
+)
+from repro.errors import DurabilityError
+from repro.ps.metrics import PSMetrics
+from repro.ps.storage import DenseStorage, SparseStorage, make_storage
+
+D = 3
+
+
+def row(*values):
+    return np.asarray(values, dtype=np.float64)
+
+
+def rows(*value_rows):
+    return np.asarray(value_rows, dtype=np.float64)
+
+
+class TestLSNClock:
+    def test_monotone_from_one(self):
+        clock = LSNClock()
+        assert clock.last == 0
+        assert [clock.next() for _ in range(4)] == [1, 2, 3, 4]
+        assert clock.last == 4
+
+    def test_shared_clock_gives_cluster_wide_total_order(self):
+        clock = LSNClock()
+        wal_a = DeltaWAL(node=0, clock=clock)
+        wal_b = DeltaWAL(node=1, clock=clock)
+        wal_a.append(WAL_INSERT, [0], rows(row(1, 2, 3)))
+        wal_b.append(WAL_INSERT, [1], rows(row(4, 5, 6)))
+        wal_a.append(WAL_DELTA, [0], rows(row(1, 1, 1)))
+        lsns = sorted(
+            record.lsn for wal in (wal_a, wal_b) for record in wal.records
+        )
+        assert lsns == [1, 2, 3]
+        assert wal_a.records[0].lsn == 1
+        assert wal_b.records[0].lsn == 2
+        assert wal_a.records[1].lsn == 3
+
+
+class TestDeltaWAL:
+    def test_unknown_kind_raises(self):
+        wal = DeltaWAL()
+        with pytest.raises(DurabilityError):
+            wal.append("compact", [0], rows(row(0, 0, 0)))
+
+    def test_records_since_and_truncate(self):
+        wal = DeltaWAL()
+        for i in range(5):
+            wal.append(WAL_DELTA, [i], rows(row(i, i, i)))
+        assert [r.lsn for r in wal.records_since(0)] == [1, 2, 3, 4, 5]
+        assert [r.lsn for r in wal.records_since(3)] == [4, 5]
+        assert wal.records_since(5) == []
+        dropped = wal.truncate_to(3)
+        assert dropped == 3
+        assert [r.lsn for r in wal.records] == [4, 5]
+        # last_lsn survives truncation: the next checkpoint still covers
+        # everything that was ever logged.
+        wal.truncate_to(5)
+        assert wal.records == []
+        assert wal.last_lsn == 5
+
+    def test_records_are_detached_copies(self):
+        wal = DeltaWAL()
+        update = row(1, 2, 3)
+        record = wal.append(WAL_DELTA, [7], rows(update))
+        update[:] = 99.0
+        np.testing.assert_array_equal(record.values[0], row(1, 2, 3))
+
+    def test_metrics_bumps(self):
+        metrics = PSMetrics()
+        wal = DeltaWAL(metrics=metrics)
+        record = wal.append(WAL_INSERT, [0, 1], rows(row(1, 1, 1), row(2, 2, 2)))
+        wal.append(WAL_DELTA, [0], rows(row(1, 0, 0)))
+        assert metrics.wal_appends == 2
+        assert metrics.wal_bytes > 0
+        assert record.nbytes > 0
+
+    def test_after_append_hook_fires(self):
+        wal = DeltaWAL()
+        fired = []
+        wal.after_append = lambda: fired.append(wal.last_lsn)
+        wal.append(WAL_SET, [0], rows(row(0, 0, 0)))
+        wal.append(WAL_SET, [1], rows(row(1, 1, 1)))
+        assert fired == [1, 2]
+
+
+class TestDurabilityConfig:
+    def test_defaults_enabled(self):
+        config = DurabilityConfig()
+        assert config.enabled
+        assert config.checkpoint_interval > 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(DurabilityError):
+            DurabilityConfig(checkpoint_interval=-1.0)
+
+
+@pytest.mark.parametrize("dense", [True, False], ids=["dense", "sparse"])
+class TestLoggedStorage:
+    """The proxy must be observationally identical to the bare store."""
+
+    def _pair(self, dense, num_keys=8):
+        bare = make_storage(dense=dense, num_keys=num_keys, value_length=D)
+        inner = make_storage(dense=dense, num_keys=num_keys, value_length=D)
+        logged = LoggedStorage(inner, DeltaWAL())
+        return bare, logged
+
+    def _exercise(self, storage):
+        storage.insert(0, row(1, 0, 0))
+        storage.insert_many([1, 2, 3], rows(row(1, 1, 1), row(2, 2, 2), row(3, 3, 3)))
+        storage.add(1, row(0.5, 0.5, 0.5))
+        storage.row_add(2, row(-1, -1, -1))
+        # Duplicate keys in one batch accumulate both rows.
+        storage.add_many([3, 3], rows(row(1, 0, 0), row(0, 1, 0)))
+        storage.set(0, row(9, 9, 9))
+        storage.set_many([1, 2], rows(row(7, 7, 7), row(8, 8, 8)))
+        removed = storage.remove(3)
+        storage.insert(3, row(4, 4, 4))  # reuse the freed slot
+        storage.remove_many([0, 3])
+        return removed
+
+    def test_reads_and_writes_match_bare_store(self, dense):
+        bare, logged = self._pair(dense)
+        removed_bare = self._exercise(bare)
+        removed_logged = self._exercise(logged)
+        np.testing.assert_array_equal(removed_bare, removed_logged)
+        assert sorted(bare.keys()) == sorted(logged.keys())
+        assert len(bare) == len(logged)
+        for key in bare.keys():
+            assert logged.contains(key) and key in logged
+            np.testing.assert_array_equal(bare.get(key), logged.get(key))
+            np.testing.assert_array_equal(bare.row_copy(key), logged.row_copy(key))
+        keys_bare, values_bare = bare.snapshot()
+        keys_logged, values_logged = logged.snapshot()
+        np.testing.assert_array_equal(keys_bare, keys_logged)
+        np.testing.assert_array_equal(values_bare, values_logged)
+
+    def test_every_mutation_is_logged(self, dense):
+        _, logged = self._pair(dense)
+        self._exercise(logged)
+        kinds = [record.kind for record in logged.wal.records]
+        assert set(kinds) <= set(WAL_KINDS)
+        assert kinds.count(WAL_INSERT) == 3  # insert, insert_many, re-insert
+        assert kinds.count(WAL_DELTA) == 3  # add, row_add, add_many
+        assert kinds.count(WAL_SET) == 2  # set, set_many
+        assert kinds.count(WAL_REMOVE) == 2  # remove, remove_many
+        lsns = [record.lsn for record in logged.wal.records]
+        assert lsns == sorted(lsns)
+
+    def test_remove_record_carries_removed_values(self, dense):
+        """REMOVE logs the dropped rows: recovery of an in-flight relocation
+        restores the value from the old owner's REMOVE record."""
+        _, logged = self._pair(dense)
+        logged.insert(5, row(3, 1, 4))
+        removed = logged.remove(5)
+        np.testing.assert_array_equal(removed, row(3, 1, 4))
+        record = logged.wal.records[-1]
+        assert record.kind == WAL_REMOVE
+        assert record.keys == (5,)
+        np.testing.assert_array_equal(record.values[0], row(3, 1, 4))
+
+    def test_checkpoint_plus_replay_equals_live_store(self, dense):
+        _, logged = self._pair(dense)
+        logged.insert_many([0, 1], rows(row(1, 1, 1), row(2, 2, 2)))
+        checkpoint = take_checkpoint(logged, node=0, lsn=logged.wal.last_lsn, now=0.0)
+        logged.add(0, row(1, 2, 3))
+        logged.remove(1)
+        logged.insert(4, row(5, 5, 5))
+        state = checkpoint.as_state()
+        replay_records(state, logged.wal.records_since(checkpoint.lsn))
+        keys, values = logged.snapshot()
+        assert sorted(state.keys()) == keys.tolist()
+        for index, key in enumerate(keys.tolist()):
+            np.testing.assert_array_equal(state[key], values[index])
+
+    def test_delta_replay_onto_missing_key_raises(self, dense):
+        _, logged = self._pair(dense)
+        logged.insert(0, row(1, 1, 1))
+        logged.add(0, row(1, 0, 0))
+        delta = logged.wal.records[-1]
+        with pytest.raises(DurabilityError):
+            replay_records({}, [delta])
+
+
+class TestSnapshots:
+    @pytest.mark.parametrize("dense", [True, False], ids=["dense", "sparse"])
+    def test_snapshot_is_detached_and_sorted(self, dense):
+        storage = make_storage(dense=dense, num_keys=8, value_length=D)
+        for key in (5, 1, 3):
+            storage.insert(key, row(key, key, key))
+        keys, values = storage.snapshot()
+        assert keys.tolist() == [1, 3, 5]
+        values[:] = -1.0
+        np.testing.assert_array_equal(storage.get(5), row(5, 5, 5))
+
+    def test_storage_classes_direct(self):
+        dense = DenseStorage(4, D)
+        sparse = SparseStorage(4, D)
+        for storage in (dense, sparse):
+            keys, values = storage.snapshot()
+            assert keys.size == 0
+            assert values.shape == (0, D)
