@@ -36,11 +36,15 @@ def run_once(benchmark, fn):
 def make_arg_parser(description, default_out=None):
     """Shared CLI for the standalone (non-pytest) benchmark scripts.
 
-    Every script gets the same three flags instead of hand-rolling them:
+    Every script gets the same four flags instead of hand-rolling them:
 
     * ``--seed`` — base random seed forwarded to the workload generators,
     * ``--out`` (alias ``--output``) — where to write the JSON report,
-    * ``--smoke`` — CI-sized run: small workloads, full correctness checks.
+    * ``--smoke`` — CI-sized run: small workloads, full correctness checks,
+    * ``--backend`` — execution backend for the end-to-end workloads:
+      ``sim`` (discrete-event simulator, default) or ``real`` (actual worker
+      processes with shared-memory parameter shards; matrix factorization on
+      classic/classic_fast_local/lapse only).
     """
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument(
@@ -57,5 +61,12 @@ def make_arg_parser(description, default_out=None):
         "--smoke",
         action="store_true",
         help="CI-sized run: small workloads, fewer repeats, full correctness checks",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("sim", "real"),
+        default="sim",
+        help="execution backend for end-to-end workloads: the discrete-event "
+        "simulator (default) or real worker processes (MF only)",
     )
     return parser

@@ -98,6 +98,7 @@ def make_parameter_server(
     ps_config: ParameterServerConfig,
     partitioner: Optional[KeyPartitioner] = None,
     durability: Optional[Any] = None,
+    backend: str = "sim",
 ) -> ParameterServer:
     """Instantiate the PS variant named ``system`` on ``cluster``.
 
@@ -107,7 +108,34 @@ def make_parameter_server(
     installs the durability subsystem (a
     :class:`~repro.durability.DurabilityConfig`): per-node WAL + checkpoints;
     ``None`` leaves the fast path untouched.
+
+    ``backend`` selects the execution substrate: ``"sim"`` (default) runs on
+    the discrete-event simulator, ``"real"`` on actual processes with
+    shared-memory parameter shards (:class:`repro.backend.RealParameterServer`
+    — classic, classic_fast_local, and lapse only).  The real backend returns
+    an object satisfying the same client/metrics API; call ``shutdown()`` on
+    it (or use it as a context manager) to release the shared memory.
     """
+    if backend == "real":
+        from repro.backend import REAL_BACKEND_SYSTEMS, RealParameterServer
+
+        if system not in REAL_BACKEND_SYSTEMS:
+            raise ExperimentError(
+                f"system {system!r} is not available on the real backend; "
+                f"choose one of {', '.join(REAL_BACKEND_SYSTEMS)}"
+            )
+        if partitioner is not None:
+            raise ExperimentError(
+                "the real backend does not support custom partitioners "
+                "(elastic clusters run on the simulator)"
+            )
+        if durability is not None:
+            raise ExperimentError(
+                "the real backend does not support the durability subsystem"
+            )
+        return RealParameterServer(system, cluster, ps_config)
+    if backend != "sim":
+        raise ExperimentError(f"unknown backend {backend!r}; choose 'sim' or 'real'")
     if system == "classic":
         return ClassicIPCPS(cluster, ps_config, partitioner=partitioner, durability=durability)
     if system == "classic_fast_local":
@@ -171,10 +199,13 @@ class TaskRunResult:
     metrics: Optional[PSMetrics]
     remote_messages: int
     bytes_sent: int
+    #: Execution substrate the run used: "sim" (epoch durations are simulated
+    #: time) or "real" (epoch durations are wall-clock time).
+    backend: str = "sim"
 
     @property
     def epoch_duration(self) -> float:
-        """Mean simulated epoch run time."""
+        """Mean epoch run time (simulated or wall seconds, per ``backend``)."""
         return sum(epoch.duration for epoch in self.epochs) / len(self.epochs)
 
     @property
@@ -260,8 +291,14 @@ def run_mf_experiment(
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
+    backend: str = "sim",
 ) -> TaskRunResult:
-    """Run DSGD matrix factorization (Figures 6 and 9)."""
+    """Run DSGD matrix factorization (Figures 6 and 9).
+
+    With ``backend="real"`` the same workload executes on actual worker
+    processes (classic, classic_fast_local, lapse) and epoch durations are
+    wall-clock seconds.
+    """
     scale = scale or MFScale()
     matrix = generate_matrix(
         scale.num_rows, scale.num_cols, scale.num_entries, rank=scale.rank, seed=seed
@@ -270,6 +307,8 @@ def run_mf_experiment(
     mf_config = MatrixFactorizationConfig(
         rank=scale.rank, compute_time_per_entry=scale.compute_time_per_entry
     )
+    if system == "lowlevel" and backend != "sim":
+        raise ExperimentError("the low-level baseline only runs on the simulator")
     if system == "lowlevel":
         baseline = LowLevelDSGD(
             cluster,
@@ -291,19 +330,26 @@ def run_mf_experiment(
             bytes_sent=baseline.network.stats.bytes_sent,
         )
     ps_config = ParameterServerConfig(num_keys=scale.num_cols, value_length=scale.rank)
-    ps = make_parameter_server(system, cluster, ps_config)
-    trainer = MatrixFactorizationTrainer(ps, matrix, mf_config, seed=seed)
-    epoch_results = trainer.train(num_epochs=epochs, compute_loss=compute_loss)
-    return TaskRunResult(
-        task="matrix_factorization",
-        system=system,
-        num_nodes=num_nodes,
-        workers_per_node=workers_per_node,
-        epochs=epoch_results,
-        metrics=ps.metrics(),
-        remote_messages=ps.network.stats.remote_messages,
-        bytes_sent=ps.network.stats.bytes_sent,
+    ps = make_parameter_server(
+        system, cluster, ps_config, durability=durability, backend=backend
     )
+    try:
+        trainer = MatrixFactorizationTrainer(ps, matrix, mf_config, seed=seed)
+        epoch_results = trainer.train(num_epochs=epochs, compute_loss=compute_loss)
+        return TaskRunResult(
+            task="matrix_factorization",
+            system=system,
+            num_nodes=num_nodes,
+            workers_per_node=workers_per_node,
+            epochs=epoch_results,
+            metrics=ps.metrics(),
+            remote_messages=ps.network.stats.remote_messages,
+            bytes_sent=ps.network.stats.bytes_sent,
+            backend=backend,
+        )
+    finally:
+        if backend == "real":
+            ps.shutdown()
 
 
 def run_kge_experiment(
@@ -317,8 +363,14 @@ def run_kge_experiment(
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
+    backend: str = "sim",
 ) -> TaskRunResult:
     """Run knowledge-graph-embedding training (Figures 1 and 7, Table 5)."""
+    if backend != "sim":
+        raise ExperimentError(
+            "the KGE task only runs on the simulator (backend='sim'); the "
+            "real backend currently supports matrix factorization"
+        )
     scale = scale or KGEScale()
     graph = generate_knowledge_graph(
         num_entities=scale.num_entities,
@@ -451,8 +503,14 @@ def run_w2v_experiment(
     compute_error: bool = False,
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
+    backend: str = "sim",
 ) -> TaskRunResult:
     """Run skip-gram word-vector training (Figure 8)."""
+    if backend != "sim":
+        raise ExperimentError(
+            "the word2vec task only runs on the simulator (backend='sim'); "
+            "the real backend currently supports matrix factorization"
+        )
     scale = scale or W2VScale()
     corpus = generate_corpus(
         vocabulary_size=scale.vocabulary_size,

@@ -199,7 +199,11 @@ class MatrixFactorizationTrainer:
 
         epoch = self._epochs_run
         start_time = self.ps.simulated_time
-        self.ps.run_workers(worker_fn, clients=clients)
+        results = self.ps.run_workers(worker_fn, clients=clients)
+        for result in results:
+            if result is not None:
+                low, high, rows = result
+                self.row_factors[low:high] = rows
         duration = self.ps.simulated_time - start_time
         self._epochs_run += 1
         loss = self.training_rmse() if compute_loss else None
@@ -271,7 +275,18 @@ class MatrixFactorizationTrainer:
                 if wake is not None:
                     yield wake
             yield from subepoch_synchronization(client)
-        return None
+        # Return this worker's row-factor slice.  On the simulated backend
+        # these rows were updated in place and the writeback in run_epoch is
+        # a no-op self-assignment; on the real backend the worker process
+        # updated a forked copy, and the returned slice carries the rows home.
+        num_workers = schedule.num_workers
+        rows_per_worker = int(np.ceil(matrix.num_rows / num_workers))
+        low = min(participant * rows_per_worker, matrix.num_rows)
+        if participant == num_workers - 1:
+            high = matrix.num_rows
+        else:
+            high = min((participant + 1) * rows_per_worker, matrix.num_rows)
+        return low, high, row_factors[low:high]
 
     # ------------------------------------------------------------- evaluation
     def column_factors(self) -> np.ndarray:

@@ -569,6 +569,10 @@ class SparseStorage(ParameterStorage):
         self.value_length = value_length
         #: key -> row slot in the backing matrix.
         self._index: Dict[int, int] = {}
+        #: Dense mirror of ``_index`` (-1 = not resident): lets the batch ops
+        #: resolve all slots in one fancy-index gather instead of a Python
+        #: dict walk.  Kept in sync at every ``_index`` mutation site.
+        self._slot_of = np.full(num_keys, -1, dtype=np.intp)
         self._matrix = np.zeros((8, value_length), dtype=np.float64)
         #: Slots handed back by ``remove``, reused before growing the slab.
         self._free: List[int] = []
@@ -577,7 +581,9 @@ class SparseStorage(ParameterStorage):
         if initial_keys is not None:
             for key in initial_keys:
                 self._check_key(key)
-                self._index[key] = self._allocate()
+                slot = self._allocate()
+                self._index[key] = slot
+                self._slot_of[key] = slot
 
     def _check_key(self, key: int) -> None:
         if not 0 <= key < self.num_keys:
@@ -635,11 +641,13 @@ class SparseStorage(ParameterStorage):
         value = self._check_value(key, value)
         slot = self._allocate()
         self._index[key] = slot
+        self._slot_of[key] = slot
         self._matrix[slot] = value
 
     def remove(self, key: int) -> np.ndarray:
         value = self.get(key)
         self._free.append(self._index.pop(key))
+        self._slot_of[key] = -1
         return value
 
     def keys(self) -> Iterator[int]:
@@ -677,6 +685,24 @@ class SparseStorage(ParameterStorage):
             slots.append(slot)
         return slots
 
+    def _resolve_slot_array(self, key_list: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`_resolve_slots` for large batches.
+
+        One bounds check plus one gather off ``_slot_of``; only when a key is
+        out of range or not resident does it fall back to the Python walk,
+        which raises naming the first offending key in batch order (the same
+        error contract as the per-key path).
+        """
+        key_array = np.asarray(key_list, dtype=np.intp)
+        if key_array.size == 0:
+            return key_array
+        if key_array.min() < 0 or key_array.max() >= self.num_keys:
+            self._resolve_slots(key_list)
+        slots = self._slot_of[key_array]
+        if (slots < 0).any():
+            self._resolve_slots(key_list)
+        return slots
+
     def contains_many(self, keys: Sequence[int]) -> np.ndarray:
         key_list = self._key_list(keys)
         index = self._index
@@ -701,22 +727,24 @@ class SparseStorage(ParameterStorage):
 
     def get_many(self, keys: Sequence[int]) -> np.ndarray:
         key_list = self._key_list(keys)
-        slots = self._resolve_slots(key_list)
+        if len(key_list) <= SMALL_BATCH:
+            slots: Sequence[int] = self._resolve_slots(key_list)
+        else:
+            slots = self._resolve_slot_array(key_list)
         # One gather off the slab (fancy indexing copies, as ``get`` does).
         return self._matrix[slots]
 
     def add_many(self, keys: Sequence[int], updates: np.ndarray) -> None:
         key_list = self._key_list(keys)
         updates = self._check_batch_values(len(key_list), updates)
+        matrix = self._matrix
         # Resolving every slot first keeps add_many check-then-apply: a batch
         # with a non-resident key raises before any update lands.
-        slots = self._resolve_slots(key_list)
-        matrix = self._matrix
-        if len(slots) <= SMALL_BATCH:
-            for position, slot in enumerate(slots):
+        if len(key_list) <= SMALL_BATCH:
+            for position, slot in enumerate(self._resolve_slots(key_list)):
                 matrix[slot] += updates[position]
             return
-        slot_array = np.asarray(slots, dtype=np.intp)
+        slot_array = self._resolve_slot_array(key_list)
         if np.unique(slot_array).size == slot_array.size:
             # Duplicate-free batch: fancy += is several times faster than the
             # unbuffered np.add.at and numerically identical here.
@@ -729,14 +757,13 @@ class SparseStorage(ParameterStorage):
     def set_many(self, keys: Sequence[int], values_in: np.ndarray) -> None:
         key_list = self._key_list(keys)
         values_in = self._check_batch_values(len(key_list), values_in)
-        slots = self._resolve_slots(key_list)
         matrix = self._matrix
-        if len(slots) <= SMALL_BATCH:
-            for position, slot in enumerate(slots):
+        if len(key_list) <= SMALL_BATCH:
+            for position, slot in enumerate(self._resolve_slots(key_list)):
                 matrix[slot] = values_in[position]
             return
         # Duplicate slots resolve to the last row, matching per-key order.
-        matrix[np.asarray(slots, dtype=np.intp)] = values_in
+        matrix[self._resolve_slot_array(key_list)] = values_in
 
     def insert_many(self, keys: Sequence[int], values_in: np.ndarray) -> None:
         key_list = self._key_list(keys)
@@ -752,6 +779,7 @@ class SparseStorage(ParameterStorage):
         matrix = self._matrix
         for position, key in enumerate(key_list):
             index[key] = slots[position]
+            self._slot_of[key] = slots[position]
         if len(slots) <= SMALL_BATCH:
             for position, slot in enumerate(slots):
                 matrix[slot] = values_in[position]
@@ -768,6 +796,7 @@ class SparseStorage(ParameterStorage):
                 raise StorageError(f"key {key} is not resident in this store")
             seen.add(key)
         slots = [index.pop(key) for key in key_list]
+        self._slot_of[np.asarray(key_list, dtype=np.intp)] = -1
         values = self._matrix[slots]
         self._free.extend(slots)
         return values

@@ -13,6 +13,7 @@ latency and transfer time from :class:`repro.config.CostModel`, and "run time"
 is simulated time.
 """
 
+from repro.simnet.clock import Clock, SimulatedClock, WallClock
 from repro.simnet.events import AllOf, AnyOf, Event, Timeout
 from repro.simnet.kernel import Simulator
 from repro.simnet.network import Network, NetworkStats
@@ -23,12 +24,15 @@ from repro.simnet.queues import MessageQueue
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Clock",
     "Event",
     "MessageQueue",
     "Network",
     "NetworkStats",
     "Node",
     "Process",
+    "SimulatedClock",
     "Simulator",
     "Timeout",
+    "WallClock",
 ]

@@ -1,0 +1,126 @@
+"""Shared-memory building blocks of the real backend.
+
+``SharedDenseStorage`` must behave exactly like ``DenseStorage`` (same
+layout, same batch API, same check-then-apply error contract) while making
+writes visible across ``fork``; ``SharedDirectory`` is the cross-process
+location record and ``DirectoryHomeView`` adapts it to the
+``home_location`` mapping interface of ``RelocationPolicy``.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.backend import DirectoryHomeView, SharedDenseStorage, SharedDirectory
+from repro.errors import StorageError
+from repro.ps.partition import RangePartitioner
+from repro.ps.storage import DenseStorage
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the real backend requires the fork start method",
+)
+
+
+@pytest.fixture()
+def shared_store():
+    store = SharedDenseStorage(16, 4, initial_keys=range(8))
+    yield store
+    store.detach()
+
+
+def test_shared_dense_matches_dense_semantics(shared_store):
+    reference = DenseStorage(16, 4, initial_keys=range(8))
+    rng = np.random.default_rng(0)
+    keys = [0, 3, 5, 7]
+    values = rng.normal(size=(len(keys), 4))
+    updates = rng.normal(size=(len(keys), 4))
+    for store in (shared_store, reference):
+        store.set_many(keys, values)
+        store.add_many(keys, updates)
+    np.testing.assert_array_equal(
+        shared_store.get_many(keys), reference.get_many(keys)
+    )
+    assert sorted(shared_store.keys()) == sorted(reference.keys())
+    assert len(shared_store) == len(reference)
+    shared_values, shared_present = shared_store.snapshot()
+    reference_values, reference_present = reference.snapshot()
+    np.testing.assert_array_equal(shared_values, reference_values)
+    np.testing.assert_array_equal(shared_present, reference_present)
+
+
+def test_shared_dense_error_contract(shared_store):
+    # Check-then-apply: the batch fails before any row is written.
+    before = shared_store.get_many([0, 1])
+    with pytest.raises(StorageError, match="key 9 is not resident"):
+        shared_store.set_many([0, 9], np.ones((2, 4)))
+    np.testing.assert_array_equal(shared_store.get_many([0, 1]), before)
+    with pytest.raises(StorageError, match="already resident"):
+        shared_store.insert(3, np.ones(4))
+
+
+def test_shared_dense_cross_fork_visibility(shared_store):
+    ctx = multiprocessing.get_context("fork")
+    done = ctx.Event()
+    stop = ctx.Event()
+
+    def child():
+        shared_store.set_many([2], np.full((1, 4), 7.25))
+        done.set()
+        stop.wait(10.0)
+
+    process = ctx.Process(target=child, daemon=True)
+    process.start()
+    try:
+        assert done.wait(10.0), "child never wrote"
+        # The parent sees the child's write while the child is still alive.
+        np.testing.assert_array_equal(shared_store.get(2), np.full(4, 7.25))
+    finally:
+        stop.set()
+        process.join(10.0)
+        if process.is_alive():  # pragma: no cover - cleanup on failure
+            process.terminate()
+
+
+def test_shared_dense_detach_is_idempotent_and_keeps_state(shared_store):
+    shared_store.set_many([4], np.full((1, 4), 3.0))
+    shared_store.detach()
+    shared_store.detach()  # idempotent
+    np.testing.assert_array_equal(shared_store.get(4), np.full(4, 3.0))
+
+
+def test_shared_directory_ops():
+    ctx = multiprocessing.get_context("fork")
+    directory = SharedDirectory(10, [key % 2 for key in range(10)], ctx.Lock())
+    try:
+        assert directory.owner_of(3) == 1
+        np.testing.assert_array_equal(directory.owners_of([0, 1, 2]), [0, 1, 0])
+        with directory.lock:
+            directory.set_owners([0, 2], 1)
+        assert directory.owner_of(0) == 1
+        snapshot = directory.snapshot()
+        # The snapshot is a private copy, detached from later updates.
+        with directory.lock:
+            directory.set_owners([4], 1)
+        assert snapshot[4] == 0
+    finally:
+        directory.detach()
+        directory.detach()  # idempotent
+
+
+def test_directory_home_view_restricts_to_home_keys():
+    ctx = multiprocessing.get_context("fork")
+    partitioner = RangePartitioner(10, 2)  # node 0 homes keys 0..4
+    directory = SharedDirectory(10, [partitioner.node_of(k) for k in range(10)], ctx.Lock())
+    try:
+        view = DirectoryHomeView(directory, partitioner, node_id=0)
+        assert 2 in view and 7 not in view
+        assert view[2] == 0
+        with directory.lock:
+            directory.set_owners([2], 1)
+        assert view[2] == 1  # the view reads through to the live directory
+        with pytest.raises(KeyError):
+            view[7]
+    finally:
+        directory.detach()

@@ -1,0 +1,35 @@
+"""Smoke test for the hot-path profiling helper.
+
+``benchmarks/profile_hotpath.py`` is a developer tool, not part of the
+library, so nothing else in the suite would notice if a runner-API change
+broke it.  This test runs it end-to-end on one system with a tiny workload
+and asserts that it completes and prints a profile table.
+"""
+
+import os
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BENCHMARKS = os.path.join(ROOT, "benchmarks")
+
+
+@pytest.fixture()
+def profile_hotpath():
+    if BENCHMARKS not in sys.path:
+        sys.path.insert(0, BENCHMARKS)
+    import profile_hotpath
+
+    return profile_hotpath
+
+
+def test_profile_hotpath_smoke(profile_hotpath, capsys):
+    exit_code = profile_hotpath.main(
+        ["--systems", "classic", "--top", "3", "--entries", "200"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    # One profile block for the requested system, with the pstats table header.
+    assert "=== classic:" in output
+    assert "ncalls" in output
