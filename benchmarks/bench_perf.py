@@ -450,13 +450,15 @@ def bench_kernel(num_yields, repeats):
 
 
 # ------------------------------------------------------------------ end to end
-def bench_end_to_end(smoke, repeats, seed=0, backend="sim"):
+def bench_end_to_end(smoke, repeats, seed=0, backend="sim", jobs=1):
     """Wall-clock per epoch for the paper workloads across PS variants.
 
     ``backend="real"`` runs on actual worker processes instead of the
     simulator; only matrix factorization on the real-backend systems is
     measured there (the KGE/W2V tasks and the stale/replica/hybrid policies
-    are simulator-only).
+    are simulator-only).  ``jobs`` forks the simulator across that many
+    shard processes (simulated backend only) — results stay bit-identical,
+    so throughput rows remain comparable across job counts.
     """
     if smoke:
         mf_scale = MFScale(num_rows=64, num_cols=32, num_entries=2000)
@@ -471,18 +473,19 @@ def bench_end_to_end(smoke, repeats, seed=0, backend="sim"):
     runs = []
     if backend == "real":
         mf_systems = ("classic", "classic_fast_local", "lapse")
+        jobs = 1  # the real backend has no simulator to shard
     else:
         mf_systems = ("classic", "lapse", "stale_ssp", "replica", "hybrid")
     for system in mf_systems:
         runs.append(("matrix_factorization", system, mf_scale.num_entries, lambda s=system: run_mf_experiment(
-            s, num_nodes=2, workers_per_node=2, scale=mf_scale, epochs=epochs, seed=seed, backend=backend)))
+            s, num_nodes=2, workers_per_node=2, scale=mf_scale, epochs=epochs, seed=seed, backend=backend, jobs=jobs)))
     if backend == "sim":
         for system in ("classic", "lapse", "replica", "hybrid"):
             runs.append(("kge_complex", system, kge_scale.num_triples, lambda s=system: run_kge_experiment(
-                s, num_nodes=2, workers_per_node=2, scale=kge_scale, epochs=epochs, seed=seed)))
+                s, num_nodes=2, workers_per_node=2, scale=kge_scale, epochs=epochs, seed=seed, jobs=jobs)))
         for system in ("classic", "lapse", "stale_ssp", "replica", "hybrid"):
             runs.append(("word2vec", system, w2v_scale.num_sentences, lambda s=system: run_w2v_experiment(
-                s, num_nodes=2, workers_per_node=2, scale=w2v_scale, epochs=epochs, seed=seed)))
+                s, num_nodes=2, workers_per_node=2, scale=w2v_scale, epochs=epochs, seed=seed, jobs=jobs)))
     results = []
     for task, system, steps_per_epoch, fn in runs:
         seconds, result = _best_of(fn, repeats)
@@ -491,6 +494,7 @@ def bench_end_to_end(smoke, repeats, seed=0, backend="sim"):
                 "task": task,
                 "system": system,
                 "backend": backend,
+                "jobs": jobs,
                 "num_nodes": 2,
                 "workers_per_node": 2,
                 "epochs": epochs,
@@ -570,6 +574,84 @@ def bench_real_backend(smoke, seed=0):
             speedup >= REAL_SCALING_FLOOR,
             f"real-backend {system} MF speedup 1->4 processes is "
             f"{speedup:.2f}x, below the {REAL_SCALING_FLOOR}x floor",
+        )
+    return report
+
+
+
+# ------------------------------------------------------ parallel-engine scaling
+#: Wall-clock speedup 1 -> 4 shard processes asserted for the parallel engine.
+PARALLEL_SCALING_FLOOR = 2.0
+
+#: Host cores needed before the shard-scaling assertion is meaningful.
+PARALLEL_SCALING_MIN_CORES = 4
+
+
+def bench_parallel_engine(smoke, seed=0):
+    """Wall-clock scaling of the parallel simulation engine, 1 -> 4 shards.
+
+    Runs the same multi-node MF workload through the sequential kernel
+    (``jobs=1``) and through four shard processes (``jobs=4``).  The results
+    are bit-identical by construction (asserted here on the simulated epoch
+    fingerprint); the claim under test is that the *simulation itself* gets
+    at least ``PARALLEL_SCALING_FLOOR`` times faster.  On hosts with fewer
+    than ``PARALLEL_SCALING_MIN_CORES`` cores (or without the fork start
+    method) the section reports itself skipped instead of asserting — shard
+    processes cannot beat the sequential kernel without real parallelism.
+    """
+    cores = os.cpu_count() or 1
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return {"skipped": "fork start method unavailable", "cores": cores}
+    if cores < PARALLEL_SCALING_MIN_CORES:
+        return {
+            "skipped": f"needs >= {PARALLEL_SCALING_MIN_CORES} cores, host has {cores}",
+            "cores": cores,
+        }
+    entries = 6000 if smoke else 20000
+    # Dense enough that per-shard event processing dominates the
+    # window-synchronization barriers.
+    scale = MFScale(num_rows=256, num_cols=64, num_entries=entries, rank=8)
+    report = {"cores": cores, "entries": entries, "floor": PARALLEL_SCALING_FLOOR}
+    for system in ("classic", "lapse"):
+        times = {}
+        fingerprints = {}
+        for jobs in (1, 4):
+            start = time.perf_counter()
+            result = run_mf_experiment(
+                system,
+                num_nodes=4,
+                workers_per_node=2,
+                scale=scale,
+                epochs=1,
+                compute_loss=False,
+                seed=seed,
+                jobs=jobs,
+            )
+            times[jobs] = time.perf_counter() - start
+            fingerprints[jobs] = (
+                tuple(repr(epoch.duration) for epoch in result.epochs),
+                result.remote_messages,
+                result.bytes_sent,
+            )
+        _require(
+            fingerprints[1] == fingerprints[4],
+            f"parallel-engine {system} MF results diverged between jobs=1 "
+            f"and jobs=4",
+        )
+        speedup = times[1] / times[4]
+        report[system] = {
+            "wall_1job_s": times[1],
+            "wall_4jobs_s": times[4],
+            "speedup": speedup,
+        }
+        print(
+            f"  parallel/{system:<10s} 1 job {times[1]:6.3f}s -> 4 jobs "
+            f"{times[4]:6.3f}s ({speedup:.2f}x)"
+        )
+        _require(
+            speedup >= PARALLEL_SCALING_FLOOR,
+            f"parallel-engine {system} MF speedup 1->4 shards is "
+            f"{speedup:.2f}x, below the {PARALLEL_SCALING_FLOOR}x floor",
         )
     return report
 
@@ -667,6 +749,7 @@ def main(argv=None):
             for entry in load_report(args.compare)["runs"]
             if entry.get("mode") == mode
             and entry.get("backend", "sim") == args.backend
+            and entry.get("jobs", 1) == args.jobs
         ]
         if candidates:
             compare_baseline = candidates[-1]
@@ -693,17 +776,23 @@ def main(argv=None):
     engine = bench_engine(engine_scale, repeats=4 if args.smoke else 6)
     print("end-to-end workloads ...", flush=True)
     end_to_end = bench_end_to_end(
-        args.smoke, repeats=1 if args.smoke else 2, seed=args.seed, backend=args.backend
+        args.smoke, repeats=1 if args.smoke else 2, seed=args.seed,
+        backend=args.backend, jobs=args.jobs,
     )
     print("real-backend scaling (1 -> 4 worker processes) ...", flush=True)
     real_backend = bench_real_backend(args.smoke, seed=args.seed)
     if "skipped" in real_backend:
         print(f"  skipped: {real_backend['skipped']}")
+    print("parallel-engine scaling (1 -> 4 shard processes) ...", flush=True)
+    parallel_engine = bench_parallel_engine(args.smoke, seed=args.seed)
+    if "skipped" in parallel_engine:
+        print(f"  skipped: {parallel_engine['skipped']}")
 
     run = {
         "schema_run": 2,
         "mode": "smoke" if args.smoke else "full",
         "backend": args.backend,
+        "jobs": args.jobs,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "parity": "ok",
@@ -713,6 +802,7 @@ def main(argv=None):
         "engine": engine,
         "end_to_end": end_to_end,
         "real_backend": real_backend,
+        "parallel_engine": parallel_engine,
     }
     report = append_run(args.out, run)
     print(f"wrote {args.out} ({len(report['runs'])} runs in history)")

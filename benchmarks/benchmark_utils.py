@@ -36,7 +36,7 @@ def run_once(benchmark, fn):
 def make_arg_parser(description, default_out=None):
     """Shared CLI for the standalone (non-pytest) benchmark scripts.
 
-    Every script gets the same four flags instead of hand-rolling them:
+    Every script gets the same five flags instead of hand-rolling them:
 
     * ``--seed`` — base random seed forwarded to the workload generators,
     * ``--out`` (alias ``--output``) — where to write the JSON report,
@@ -44,7 +44,11 @@ def make_arg_parser(description, default_out=None):
     * ``--backend`` — execution backend for the end-to-end workloads:
       ``sim`` (discrete-event simulator, default) or ``real`` (actual worker
       processes with shared-memory parameter shards; matrix factorization on
-      classic/classic_fast_local/lapse only).
+      classic/classic_fast_local/lapse only),
+    * ``--jobs`` — shard count for the parallel simulation engine
+      (``repro.simnet.parallel``); ``1`` (default) keeps the sequential
+      kernel, ``N > 1`` forks the simulated nodes across N processes with
+      bit-identical results.
     """
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument(
@@ -68,5 +72,12 @@ def make_arg_parser(description, default_out=None):
         default="sim",
         help="execution backend for end-to-end workloads: the discrete-event "
         "simulator (default) or real worker processes (MF only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard count for the parallel simulation engine (default: 1 = "
+        "sequential kernel; N > 1 forks simulated nodes across N processes)",
     )
     return parser

@@ -99,6 +99,8 @@ def make_parameter_server(
     partitioner: Optional[KeyPartitioner] = None,
     durability: Optional[Any] = None,
     backend: str = "sim",
+    engine: str = "sim",
+    jobs: int = 1,
 ) -> ParameterServer:
     """Instantiate the PS variant named ``system`` on ``cluster``.
 
@@ -115,7 +117,26 @@ def make_parameter_server(
     — classic, classic_fast_local, and lapse only).  The real backend returns
     an object satisfying the same client/metrics API; call ``shutdown()`` on
     it (or use it as a context manager) to release the shared memory.
+
+    ``engine`` selects the simulator's event engine: ``"sim"`` (default) is
+    the sequential kernel, ``"parallel"`` shards the nodes across ``jobs``
+    forked processes with conservative time-window sync
+    (:mod:`repro.simnet.parallel`) — bit-identical results, multicore
+    wall-clock.  Workloads the window protocol cannot shard (elastic
+    membership changes, durability, single-node clusters) fall back to
+    ``jobs=1`` at run time with a warning.
     """
+    if engine not in ("sim", "parallel"):
+        raise ExperimentError(f"unknown engine {engine!r}; choose 'sim' or 'parallel'")
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1:
+        engine = "parallel"
+    if engine == "parallel" and backend == "real":
+        raise ExperimentError(
+            "engine='parallel' applies to the simulator; the real backend "
+            "has its own process-level parallelism"
+        )
     if backend == "real":
         from repro.backend import REAL_BACKEND_SYSTEMS, RealParameterServer
 
@@ -136,6 +157,20 @@ def make_parameter_server(
         return RealParameterServer(system, cluster, ps_config)
     if backend != "sim":
         raise ExperimentError(f"unknown backend {backend!r}; choose 'sim' or 'real'")
+    ps = _make_sim_ps(system, cluster, ps_config, partitioner, durability)
+    if jobs > 1:
+        ps.jobs = jobs
+        ps.sim.jobs = jobs
+    return ps
+
+
+def _make_sim_ps(
+    system: str,
+    cluster: ClusterConfig,
+    ps_config: ParameterServerConfig,
+    partitioner: Optional[KeyPartitioner],
+    durability: Optional[Any],
+) -> ParameterServer:
     if system == "classic":
         return ClassicIPCPS(cluster, ps_config, partitioner=partitioner, durability=durability)
     if system == "classic_fast_local":
@@ -202,6 +237,8 @@ class TaskRunResult:
     #: Execution substrate the run used: "sim" (epoch durations are simulated
     #: time) or "real" (epoch durations are wall-clock time).
     backend: str = "sim"
+    #: Shard count of the parallel simulation engine (1 = sequential kernel).
+    jobs: int = 1
 
     @property
     def epoch_duration(self) -> float:
@@ -292,6 +329,7 @@ def run_mf_experiment(
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
     backend: str = "sim",
+    jobs: int = 1,
 ) -> TaskRunResult:
     """Run DSGD matrix factorization (Figures 6 and 9).
 
@@ -331,7 +369,7 @@ def run_mf_experiment(
         )
     ps_config = ParameterServerConfig(num_keys=scale.num_cols, value_length=scale.rank)
     ps = make_parameter_server(
-        system, cluster, ps_config, durability=durability, backend=backend
+        system, cluster, ps_config, durability=durability, backend=backend, jobs=jobs
     )
     try:
         trainer = MatrixFactorizationTrainer(ps, matrix, mf_config, seed=seed)
@@ -346,6 +384,7 @@ def run_mf_experiment(
             remote_messages=ps.network.stats.remote_messages,
             bytes_sent=ps.network.stats.bytes_sent,
             backend=backend,
+            jobs=jobs,
         )
     finally:
         if backend == "real":
@@ -364,6 +403,7 @@ def run_kge_experiment(
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
     backend: str = "sim",
+    jobs: int = 1,
 ) -> TaskRunResult:
     """Run knowledge-graph-embedding training (Figures 1 and 7, Table 5)."""
     if backend != "sim":
@@ -390,7 +430,7 @@ def run_kge_experiment(
     ps_config = ParameterServerConfig(
         num_keys=keyspace.num_keys, value_length=kge_config.value_length
     )
-    ps = make_parameter_server(system, cluster, ps_config)
+    ps = make_parameter_server(system, cluster, ps_config, jobs=jobs)
     trainer = KGETrainer(ps, graph, kge_config, seed=seed)
     epoch_results = trainer.train(num_epochs=epochs, compute_loss=compute_loss)
     return TaskRunResult(
@@ -402,6 +442,7 @@ def run_kge_experiment(
         metrics=ps.metrics(),
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
+        jobs=jobs,
     )
 
 
@@ -416,6 +457,7 @@ def make_elastic_mf(
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
+    jobs: int = 1,
 ):
     """Build an elastic matrix-factorization run: ``(elastic, trainer)``.
 
@@ -438,7 +480,9 @@ def make_elastic_mf(
     partitioner = ElasticPartitioner(
         scale.num_cols, num_nodes, active_nodes=initial_nodes, kind="range"
     )
-    ps = make_parameter_server(system, cluster, ps_config, partitioner=partitioner, durability=durability)
+    ps = make_parameter_server(
+        system, cluster, ps_config, partitioner=partitioner, durability=durability, jobs=jobs
+    )
     elastic = ElasticCluster(ps, initial_nodes=initial_nodes, schedule=schedule)
     mf_config = MatrixFactorizationConfig(
         rank=scale.rank, compute_time_per_entry=scale.compute_time_per_entry
@@ -459,6 +503,7 @@ def run_elastic_mf_experiment(
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
+    jobs: int = 1,
 ) -> TaskRunResult:
     """Elastic counterpart of :func:`run_mf_experiment`.
 
@@ -477,6 +522,7 @@ def run_elastic_mf_experiment(
         seed=seed,
         cost_model=cost_model,
         durability=durability,
+        jobs=jobs,
     )
     epoch_results = [
         elastic.run_epoch(trainer, compute_loss=compute_loss) for _ in range(epochs)
@@ -491,6 +537,7 @@ def run_elastic_mf_experiment(
         metrics=ps.metrics(),
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
+        jobs=jobs,
     )
 
 
@@ -504,6 +551,7 @@ def run_w2v_experiment(
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
     backend: str = "sim",
+    jobs: int = 1,
 ) -> TaskRunResult:
     """Run skip-gram word-vector training (Figure 8)."""
     if backend != "sim":
@@ -532,7 +580,7 @@ def run_w2v_experiment(
     ps_config = ParameterServerConfig(
         num_keys=2 * scale.vocabulary_size, value_length=scale.dim
     )
-    ps = make_parameter_server(system, cluster, ps_config)
+    ps = make_parameter_server(system, cluster, ps_config, jobs=jobs)
     trainer = Word2VecTrainer(ps, corpus, w2v_config, seed=seed)
     epoch_results = trainer.train(num_epochs=epochs, compute_error=compute_error)
     return TaskRunResult(
@@ -544,4 +592,5 @@ def run_w2v_experiment(
         metrics=ps.metrics(),
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
+        jobs=jobs,
     )

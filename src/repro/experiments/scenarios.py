@@ -199,6 +199,7 @@ def elastic_scaling_scenario(
     join_node: int = 2,
     drain_node: int = 1,
     inject_failure: bool = True,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """One full elastic lifecycle per system on the MF workload.
 
@@ -231,6 +232,7 @@ def elastic_scaling_scenario(
                 join_node=join_node,
                 drain_node=drain_node,
                 inject_failure=inject_failure,
+                jobs=jobs,
             )
         )
     return rows
@@ -246,6 +248,7 @@ def _elastic_lifecycle_row(
     join_node: int,
     drain_node: int,
     inject_failure: bool,
+    jobs: int,
 ) -> Dict[str, object]:
     elastic, trainer = make_elastic_mf(
         system,
@@ -254,6 +257,7 @@ def _elastic_lifecycle_row(
         scale=scale,
         workers_per_node=workers_per_node,
         seed=seed,
+        jobs=jobs,
     )
     ps = elastic.ps
 

@@ -176,7 +176,7 @@ class Word2VecTrainer:
         """Run one epoch over all sentences."""
         epoch = self._epochs_run
         start_time = self.ps.simulated_time
-        self.ps.run_workers(self._worker_epoch)
+        self.skipped_negatives += sum(self.ps.run_workers(self._worker_epoch))
         duration = self.ps.simulated_time - start_time
         self._epochs_run += 1
         error = self.evaluation_error() if compute_error else None
@@ -189,6 +189,10 @@ class Word2VecTrainer:
         use_latency_hiding = config.latency_hiding and supports_localize(self.ps)
         negative_pool: List[int] = []
         pool_position = 0
+        # Counted locally and returned: under the parallel engine the worker
+        # runs in a forked shard process, so trainer attributes mutated here
+        # would be lost — run_epoch accumulates the returned counts instead.
+        skipped_negatives = 0
 
         def refill_pool() -> List[int]:
             pool = rng.choice(
@@ -241,7 +245,7 @@ class Word2VecTrainer:
                             if client.state.storage.contains(self.output_key(candidate)):
                                 negatives.append(candidate)
                             else:
-                                self.skipped_negatives += 1
+                                skipped_negatives += 1
                         else:
                             negatives.append(candidate)
                     yield from self._train_pair(
@@ -252,7 +256,7 @@ class Word2VecTrainer:
         yield from client.barrier()
         if needs_clock(self.ps):
             yield from client.clock()
-        return None
+        return skipped_negatives
 
     def _train_pair(
         self, client, center: int, context: int, negatives: Sequence[int]

@@ -697,6 +697,13 @@ class ParameterServer:
     #: :class:`~repro.durability.DurabilityConfig` is passed and enabled.
     #: ``None`` -> the stores stay unwrapped and no durability code runs.
     durability: Optional[Any] = None
+    #: Shard count for the parallel simulation engine
+    #: (:mod:`repro.simnet.parallel`).  ``1`` -> sequential engine.  Set via
+    #: ``make_parameter_server(..., engine="parallel", jobs=N)`` or directly.
+    jobs: int = 1
+    #: Whether the parallel-engine fallback warning has been emitted already
+    #: (one warning per server, not one per epoch).
+    _parallel_fallback_warned: bool = False
 
     def __init__(
         self,
@@ -848,8 +855,24 @@ class ParameterServer:
         Returns:
             The return values of all spawned workers, in ``clients`` order.
         """
+        if clients is None:
+            clients = self.clients()
+        jobs = max(self.jobs, self.sim.jobs)
+        if jobs > 1:
+            from repro.simnet.parallel import (
+                parallel_fallback_reason,
+                run_workers_parallel,
+                warn_parallel_fallback,
+            )
+
+            reason = parallel_fallback_reason(self, until)
+            if reason is None:
+                return run_workers_parallel(self, worker_fn, clients, jobs)
+            if not self._parallel_fallback_warned:
+                self._parallel_fallback_warned = True
+                warn_parallel_fallback(reason)
         processes = []
-        for client in clients if clients is not None else self.clients():
+        for client in clients:
             generator = worker_fn(client, client.worker_id)
             processes.append(
                 self.sim.process(generator, name=f"worker-{client.worker_id}")

@@ -30,6 +30,29 @@ Setting the environment variable ``REPRO_DISABLE_FASTPATH=1`` at simulator
 construction time disables the ring and the pool (and, downstream, message
 coalescing and fused worker steps), restoring the reference engine that the
 bit-identity test sweep compares against.
+
+**Shard mode** (``repro.simnet.parallel``): a simulator forked into a shard
+process calls :meth:`Simulator.enter_shard_mode`, which widens heap entries
+from ``(time, seq, item)`` to ``(time, lineage, item)``.  ``lineage`` is a
+*nested* tuple ``(sched_time, parent_lineage, shard_rank, seq, depth)``
+where ``parent_lineage`` is the lineage of the event that was being
+processed when this one was scheduled (``()`` at the root).  Tuple
+comparison therefore implements exactly the recursion that reproduces the
+sequential engine's global sequence order: the single-process engine
+assigns sequence numbers in scheduling order, scheduling order is
+simulated-time order (``sched_time`` first), and same-instant scheduling
+actions are ordered by the processing order of their scheduling events —
+which is, recursively, the *key* order of the parents (the nested
+``parent_lineage`` element), with ``(shard_rank, seq)`` ordering siblings
+of one parent.  ``(shard_rank, seq)`` also makes every lineage unique, so
+heap items are never compared; the trailing ``depth`` is bookkeeping for
+the amortized ancestry trim (``_LINEAGE_KEEP``/``_LINEAGE_REBUILD``) and is
+never reached by a comparison.  Shard processes advance through
+:meth:`Simulator.run_window` (a conservative time window with an exclusive
+upper bound) and receive cross-shard deliveries via
+:meth:`Simulator.schedule_foreign`, which merges them under the *sender's*
+lineage — exactly the key the delivery event would have carried had it been
+scheduled locally.
 """
 
 from __future__ import annotations
@@ -45,6 +68,44 @@ from repro.simnet.events import Event, Timeout
 #: Upper bound on the event free list; beyond this, processed pooled events
 #: are simply dropped for the garbage collector.
 _POOL_MAX = 512
+
+#: Ancestry depth kept when a lineage chain is rebuilt.  Comparisons only
+#: walk the chain while the two events' scheduling instants stay equal, so
+#: the kept window has to cover the longest *identical-instant* ancestry two
+#: distinct events can share; beyond it the deterministic ``()`` sentinel
+#: decides.
+_LINEAGE_KEEP = 24
+
+#: Depth at which a lineage chain is trimmed back to ``_LINEAGE_KEEP``
+#: levels.  Trimming rebuilds ``_LINEAGE_KEEP`` tuples, so letting chains
+#: grow to twice the kept depth makes the rebuild cost O(1) amortized per
+#: scheduled event.
+_LINEAGE_REBUILD = 48
+
+
+def _trim_lineage(lineage: Tuple) -> Tuple:
+    """Bound a lineage chain's depth before it becomes a child's context.
+
+    Returns the lineage unchanged below ``_LINEAGE_REBUILD``; otherwise
+    rebuilds the top ``_LINEAGE_KEEP`` levels over a ``()`` root.  Only the
+    ancestry that future comparisons can still reach is kept — a comparison
+    walks parents only while both events' scheduling instants are equal, so
+    dropping the deep tail is observable only for identical-instant
+    ancestries longer than the kept window.
+    """
+    if lineage[4] < _LINEAGE_REBUILD:
+        return lineage
+    chain = []
+    node = lineage
+    for _ in range(_LINEAGE_KEEP):
+        chain.append(node)
+        node = node[1]
+    ctx: Tuple = ()
+    depth = 0
+    for node in reversed(chain):
+        ctx = (node[0], ctx, node[2], node[3], depth)
+        depth += 1
+    return ctx
 
 
 def fastpath_disabled() -> bool:
@@ -82,7 +143,9 @@ class Simulator:
         assert sim.now == 1.0 and proc.value == "done"
     """
 
-    def __init__(self) -> None:
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise SimulationError(f"jobs must be >= 1, got {jobs}")
         self._now = 0.0
         self._queue: List[Tuple[float, int, Any]] = []
         #: FIFO of events/calls scheduled for the current simulated time.
@@ -93,6 +156,70 @@ class Simulator:
         #: Whether the engine fast paths (ring, pool, coalescing, fused worker
         #: steps) are active for this simulator instance.
         self.fastpath = not fastpath_disabled()
+        #: Requested shard count for the parallel engine.  The kernel itself
+        #: stays single-threaded; ``repro.simnet.parallel`` forks one shard
+        #: process per job at each driver epoch when the workload is eligible.
+        self.jobs = jobs
+        #: Shard rank once this simulator runs inside a shard process
+        #: (``enter_shard_mode``); None in the ordinary sequential engine.
+        self._shard_rank: Optional[int] = None
+        #: Lineage of the event currently being processed (shard mode).
+        self._shard_ctx: Tuple = ()
+
+    # ------------------------------------------------------------------ sharding
+    def enter_shard_mode(self, rank: int) -> None:
+        """Switch this (forked) simulator instance into shard mode.
+
+        Heap entries become ``(time, lineage, item)`` (see the module
+        docstring for the lineage key).  Entries inherited from the parent
+        at fork time (normally none beyond future timers — the parent
+        drains everything at or below the current time before forking) get
+        the lineage ``(-1.0, (), -1, seq, 0)``: they sort ahead of anything
+        scheduled after the fork at the same simulated time, matching their
+        older global sequence numbers, and among themselves by the parent's
+        global sequence.
+        """
+        if self._shard_rank is not None:
+            raise SimulationError("simulator is already in shard mode")
+        if self._ring:
+            raise SimulationError(
+                "cannot enter shard mode with immediate events pending "
+                "(the parent must drain the ring before forking)"
+            )
+        self._shard_rank = rank
+        if self._queue:
+            self._queue = [
+                (time, (-1.0, (), -1, seq, 0), item)
+                for (time, seq, item) in self._queue
+            ]
+            heapq.heapify(self._queue)
+
+    def shard_lineage(self) -> Tuple:
+        """Allocate the lineage key for an action scheduled *now* (shard mode).
+
+        Increments the local sequence exactly as scheduling an event would,
+        so shard-local sequence streams mirror the sequential engine's.
+        """
+        self._sequence += 1
+        ctx = self._shard_ctx
+        depth = ctx[4] + 1 if ctx else 0
+        return (self._now, ctx, self._shard_rank, self._sequence, depth)
+
+    def schedule_foreign(
+        self,
+        time: float,
+        lineage: Tuple,
+        fn: Callable[[Any], None],
+        arg: Any,
+    ) -> None:
+        """Merge a cross-shard delivery into this shard's heap (shard mode).
+
+        The entry carries the *sender's* lineage — the key the delivery
+        event would have had if it had been scheduled on this shard — so
+        same-time deliveries interleave with local events exactly as the
+        sequential engine's global sequence numbers would order them.
+        """
+        heapq.heappush(self._queue, (time, lineage, _Call(fn, arg)))
 
     @property
     def now(self) -> float:
@@ -159,7 +286,17 @@ class Simulator:
         now = self._now
         time = now + delay
         self._sequence += 1
-        if time == now and self.fastpath:
+        if self._shard_rank is not None:
+            ctx = self._shard_ctx
+            lineage = (
+                now, ctx, self._shard_rank, self._sequence,
+                ctx[4] + 1 if ctx else 0,
+            )
+            if time == now and self.fastpath:
+                self._ring.append((event, lineage))
+            else:
+                heapq.heappush(self._queue, (time, lineage, event))
+        elif time == now and self.fastpath:
             self._ring.append(event)
         else:
             heapq.heappush(self._queue, (time, self._sequence, event))
@@ -176,7 +313,17 @@ class Simulator:
         now = self._now
         time = now + delay
         self._sequence += 1
-        if time == now and self.fastpath:
+        if self._shard_rank is not None:
+            ctx = self._shard_ctx
+            lineage = (
+                now, ctx, self._shard_rank, self._sequence,
+                ctx[4] + 1 if ctx else 0,
+            )
+            if time == now and self.fastpath:
+                self._ring.append((_Call(fn, arg), lineage))
+            else:
+                heapq.heappush(self._queue, (time, lineage, _Call(fn, arg)))
+        elif time == now and self.fastpath:
             self._ring.append(_Call(fn, arg))
         else:
             heapq.heappush(self._queue, (time, self._sequence, _Call(fn, arg)))
@@ -197,7 +344,17 @@ class Simulator:
         event = self.acquire_event()
         event._triggered = True
         self._sequence += 1
-        if time == self._now and self.fastpath:
+        if self._shard_rank is not None:
+            ctx = self._shard_ctx
+            lineage = (
+                self._now, ctx, self._shard_rank, self._sequence,
+                ctx[4] + 1 if ctx else 0,
+            )
+            if time == self._now and self.fastpath:
+                self._ring.append((event, lineage))
+            else:
+                heapq.heappush(self._queue, (time, lineage, event))
+        elif time == self._now and self.fastpath:
             self._ring.append(event)
         else:
             heapq.heappush(self._queue, (time, self._sequence, event))
@@ -332,6 +489,62 @@ class Simulator:
                                 callback(item)
                         if item._pooled and len(pool) < _POOL_MAX:
                             pool.append(item)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_window(self, end: float) -> float:
+        """Process every event with time strictly below ``end`` (shard mode).
+
+        The conservative window loop of the parallel engine: the shard owns
+        all events below ``end`` (cross-shard deliveries generated anywhere
+        in the current window land at or after ``end``, by the lookahead
+        bound), so processing them needs no coordination.  Events exactly at
+        ``end`` stay queued for the next window.  Unlike :meth:`run`, the
+        clock is *not* advanced to ``end`` when the queue drains early — the
+        next window's bound is derived from the earliest pending event
+        across all shards, not from this shard's idle clock.
+        """
+        if self._shard_rank is None:
+            raise SimulationError("run_window requires shard mode")
+        if self._running:
+            raise SimulationError("Simulator.run_window is not reentrant")
+        self._running = True
+        queue = self._queue
+        ring = self._ring
+        heappop = heapq.heappop
+        call_cls = _Call
+        pool = self._event_pool
+        trim = _trim_lineage
+        try:
+            while True:
+                if queue:
+                    time = queue[0][0]
+                    if ring and time > self._now:
+                        item, lineage = ring.popleft()
+                    elif time >= end:
+                        break
+                    else:
+                        _, lineage, item = heappop(queue)
+                        self._now = time
+                elif ring:
+                    item, lineage = ring.popleft()
+                else:
+                    break
+                # Children scheduled while processing this item inherit its
+                # (depth-trimmed) lineage as their parent context.
+                self._shard_ctx = trim(lineage)
+                if item.__class__ is call_cls:
+                    item.fn(item.arg)
+                else:
+                    callbacks = item._callbacks
+                    item._callbacks = None
+                    item._processed = True
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(item)
+                    if item._pooled and len(pool) < _POOL_MAX:
+                        pool.append(item)
         finally:
             self._running = False
         return self._now

@@ -134,6 +134,44 @@ class Network:
         #: In-flight coalesced batches: (dst_address, deliver_at) -> payloads.
         self._pending_batches: Dict[Tuple[Hashable, float], List[Any]] = {}
         self._coalesce = sim.fastpath
+        #: Parallel-engine shard state (``enable_shard_mode``): node -> shard
+        #: rank, this process's rank, and outgoing cross-shard records.
+        self._shard_ranks: Optional[Dict[int, int]] = None
+        self._shard_rank: Optional[int] = None
+        self._shard_outbox: List[Tuple[float, Tuple, int, Hashable, Any]] = []
+
+    # ---------------------------------------------------------------- sharding
+    def enable_shard_mode(self, node_ranks: Dict[int, int], rank: int) -> None:
+        """Route cross-shard sends into the outbox (forked shard processes).
+
+        After this call, :meth:`send` handles a message whose destination
+        node belongs to another shard by recording
+        ``(deliver_at, lineage, dst_node, dst_address, payload)`` in
+        :attr:`_shard_outbox` instead of scheduling a local delivery —
+        ``lineage`` is the scheduling key the delivery event would have
+        carried locally (:meth:`Simulator.shard_lineage`), so the receiving
+        shard merges the record into its heap at exactly the sequential
+        engine's position.  All
+        sender-side accounting (traffic counters, the FIFO channel clock of
+        the directed node pair, which is owned by the sending shard) still
+        happens here, so the counters aggregate across shards exactly as the
+        sequential engine would have counted them.
+        """
+        self._shard_ranks = node_ranks
+        self._shard_rank = rank
+
+    def take_shard_outbox(self) -> List[Tuple[float, Tuple, int, Hashable, Any]]:
+        """Return and reset the cross-shard records accumulated this window."""
+        outbox = self._shard_outbox
+        self._shard_outbox = []
+        return outbox
+
+    def shard_put(self, dst_address: Hashable):
+        """Resolve the delivery callable for a cross-shard record (receiver)."""
+        put = self._sinks.get(dst_address)
+        if put is None:
+            put = self._mailboxes[dst_address].put
+        return put
 
     # ---------------------------------------------------------- node lifecycle
     @property
@@ -281,6 +319,16 @@ class Network:
         last = channel_clock.last
         deliver_at = earliest if earliest > last else last
         channel_clock.last = deliver_at
+        if self._shard_ranks is not None and self._shard_ranks[dst_node] != self._shard_rank:
+            # Cross-shard delivery: hand the record to the window-exchange
+            # protocol instead of the local kernel.  Always remote (shards
+            # partition whole nodes), so deliver_at >= sent_at + lookahead —
+            # the receiving shard merges it at a future window boundary.
+            stats.delivery_events += 1
+            self._shard_outbox.append(
+                (deliver_at, sim.shard_lineage(), dst_node, dst_address, payload)
+            )
+            return None
         if self._coalesce:
             batches = self._pending_batches
             batch_key = (dst_address, deliver_at)

@@ -1,0 +1,446 @@
+"""Conservative parallel discrete-event engine: shard nodes across cores.
+
+The sequential kernel executes every simulated node's events on one Python
+core.  This module forks the fully constructed simulation into ``P`` shard
+processes at each driver epoch (``ParameterServer.run_workers``), gives each
+shard a contiguous block of nodes, and synchronizes the shards with
+**conservative time windows**:
+
+* **Lookahead.**  Every cross-node message is charged at least
+  ``CostModel.network_latency`` of delay (``message_time(size) = latency +
+  size / bandwidth``), and the per-channel FIFO clocks only push deliveries
+  *later*.  Therefore a message sent at simulated time ``t`` is delivered no
+  earlier than ``t + L`` with ``L = network_latency`` — the classic
+  lookahead bound of a conservative parallel DES.
+* **Windows.**  Each round, every shard announces ``lo_i = min(`` earliest
+  pending local event, earliest delivery of the records it just shipped
+  ``)`` and all shards agree on the global horizon ``G = min_i lo_i``.
+  Events in ``[G, G + L)`` cannot be influenced by any not-yet-exchanged
+  message (those arrive at ``>= G + L``), so each shard processes its own
+  events below ``G + L`` without coordination, then exchanges the newly
+  generated cross-shard records and repeats.  ``G == inf`` on every shard
+  means global quiescence: the epoch is done.
+* **Determinism.**  Every shard-mode event is keyed by a recursive
+  *lineage* tuple ``(sched_time,) + parent_lineage + (shard, seq)`` (see
+  the :mod:`repro.simnet.kernel` module docstring), and cross-shard records
+  merge into the receiver's heap under the sender's lineage, which
+  reproduces the sequential engine's global sequence order.
+  The identity sweep in ``tests/experiments/test_parallel_identity.py``
+  holds the result to the same bit-identity bar as every prior engine
+  change.
+
+Shards are forked with :mod:`multiprocessing`'s ``fork`` start method, so
+each child inherits the whole object graph (parameter server, trainers,
+numpy state) copy-on-write.  At the end of the epoch each child ships the
+mutated state of *its* nodes back through a pipe — node storage and policy
+tables, worker RNGs and clocks, channel clocks of the channels it owns, and
+traffic-counter deltas — and the parent merges them so the next epoch forks
+from an up-to-date image.
+
+Workloads the window protocol cannot shard (elastic mid-run membership
+changes, durability recovery, single-node clusters, zero network latency,
+the reference engine) are detected by :func:`parallel_fallback_reason` and
+fall back to the sequential engine with a warning.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: Op-id namespace stride: shard ``r`` draws operation ids above
+#: ``(r + 1) << 48``, so concurrently issued ops never collide.  Op ids are
+#: transient (handles complete within the epoch) and never enter message
+#: sizes, so the namespacing is unobservable in simulation results.
+_OP_ID_STRIDE = 1 << 48
+
+#: Seconds a shard waits for a peer's exchange message (or the parent for a
+#: shard's result) before declaring the window barrier deadlocked.
+DEFAULT_BARRIER_TIMEOUT = 120.0
+
+#: NodeState attributes that must not be shipped between processes: object
+#: graph backlinks (`ps`, `node`, the bound cleanup method) stay the
+#: parent's, and the in-flight tables (`outstanding`, `barrier_waiters`)
+#: hold kernel events — they are asserted empty at epoch quiescence instead.
+_STATE_SKIP = frozenset({"ps", "node", "_outstanding_cleanup", "outstanding", "barrier_waiters"})
+
+#: WorkerClient attributes that must not be shipped (backlinks).
+_CLIENT_SKIP = frozenset({"ps", "state"})
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The node partition and synchronization constants of one parallel run."""
+
+    num_shards: int
+    #: node id -> shard rank (contiguous blocks).
+    node_ranks: Dict[int, int]
+    #: shard rank -> list of owned node ids.
+    shard_nodes: List[List[int]]
+    #: Conservative lookahead: minimum cross-node delivery latency.
+    lookahead: float
+
+
+def make_shard_plan(num_nodes: int, jobs: int, lookahead: float) -> ShardPlan:
+    """Partition ``num_nodes`` nodes into ``min(jobs, num_nodes)`` contiguous shards."""
+    num_shards = min(jobs, num_nodes)
+    node_ranks: Dict[int, int] = {}
+    shard_nodes: List[List[int]] = [[] for _ in range(num_shards)]
+    for node in range(num_nodes):
+        # Even contiguous blocks: shard r owns nodes [r*N/P, (r+1)*N/P).
+        rank = node * num_shards // num_nodes
+        node_ranks[node] = rank
+        shard_nodes[rank].append(node)
+    return ShardPlan(
+        num_shards=num_shards,
+        node_ranks=node_ranks,
+        shard_nodes=shard_nodes,
+        lookahead=lookahead,
+    )
+
+
+def parallel_fallback_reason(ps: Any, until: Optional[float] = None) -> Optional[str]:
+    """Why this run cannot use the parallel engine (None when it can).
+
+    The gate is conservative: anything that mutates cross-node state outside
+    the message plane (elastic membership changes, durability recovery) or
+    breaks the lookahead bound falls back to the sequential engine.
+    """
+    if until is not None:
+        return "a simulated-time cutoff was requested"
+    if not ps.sim.fastpath:
+        return "the reference engine is active (REPRO_DISABLE_FASTPATH)"
+    if ps._elastic_driver is not None or ps.membership is not None:
+        return "elastic cluster runtime is attached"
+    if getattr(ps, "durability", None) is not None:
+        return "durability subsystem is active"
+    if ps.cluster.num_nodes < 2:
+        return "cluster has a single node"
+    if ps.network.failed_nodes:
+        return "cluster has failed nodes"
+    if ps.cluster.cost_model.network_latency <= 0.0:
+        return "cost model has no cross-node latency (zero lookahead)"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "the platform does not support the fork start method"
+    if multiprocessing.current_process().daemon:
+        return "already inside a daemonic worker process"
+    return None
+
+
+# --------------------------------------------------------------------- child
+def _snapshot_stats(stats: Any) -> Dict[str, Any]:
+    return {
+        "messages_sent": stats.messages_sent,
+        "remote_messages": stats.remote_messages,
+        "local_messages": stats.local_messages,
+        "bytes_sent": stats.bytes_sent,
+        "dropped_messages": stats.dropped_messages,
+        "delivery_events": stats.delivery_events,
+        "coalesced_messages": stats.coalesced_messages,
+        "per_channel_messages": dict(stats.per_channel_messages),
+    }
+
+
+def _stats_delta(stats: Any, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    delta = {
+        name: getattr(stats, name) - snapshot[name]
+        for name in (
+            "messages_sent",
+            "remote_messages",
+            "local_messages",
+            "bytes_sent",
+            "dropped_messages",
+            "delivery_events",
+            "coalesced_messages",
+        )
+    }
+    base = snapshot["per_channel_messages"]
+    per_channel = {}
+    for channel, count in stats.per_channel_messages.items():
+        diff = count - base.get(channel, 0)
+        if diff:
+            per_channel[channel] = diff
+    delta["per_channel_messages"] = per_channel
+    return delta
+
+
+def _run_shard(
+    ps: Any,
+    rank: int,
+    plan: ShardPlan,
+    worker_fn: Callable[[Any, int], Generator],
+    owned_clients: Sequence[Tuple[int, Any]],
+    conns: Dict[int, Any],
+    timeout: float,
+) -> Dict[str, Any]:
+    """Shard body: window loop plus the end-of-epoch state payload."""
+    sim = ps.sim
+    network = ps.network
+    stats_snapshot = _snapshot_stats(network.stats)
+    sim.enter_shard_mode(rank)
+    network.enable_shard_mode(plan.node_ranks, rank)
+    ps._op_counter = (rank + 1) * _OP_ID_STRIDE
+
+    processes = []
+    for index, client in owned_clients:
+        generator = worker_fn(client, client.worker_id)
+        processes.append(
+            (index, sim.process(generator, name=f"worker-{client.worker_id}"))
+        )
+
+    peers = [j for j in range(plan.num_shards) if j != rank]
+    node_ranks = plan.node_ranks
+    lookahead = plan.lookahead
+    infinity = float("inf")
+    while True:
+        records = network.take_shard_outbox()
+        per_peer: Dict[int, list] = {j: [] for j in peers}
+        lo = infinity
+        for record in records:
+            # record = (deliver_at, lineage, dst_node, dst_address, payload)
+            if record[0] < lo:
+                lo = record[0]
+            per_peer[node_ranks[record[2]]].append(record)
+        next_local = sim.peek_time()
+        if next_local is not None and next_local < lo:
+            lo = next_local
+        for j in peers:
+            conns[j].send((per_peer[j], lo))
+        horizon = lo
+        for j in peers:
+            if not conns[j].poll(timeout):
+                raise SimulationError(
+                    f"shard {rank}: no window-exchange message from shard {j} "
+                    f"within {timeout}s (deadlocked shard barrier?)"
+                )
+            records_j, lo_j = conns[j].recv()
+            if lo_j < horizon:
+                horizon = lo_j
+            for deliver_at, lineage, _dst_node, dst_address, payload in records_j:
+                sim.schedule_foreign(
+                    deliver_at, lineage, network.shard_put(dst_address), payload
+                )
+        if horizon == infinity:
+            break
+        sim.run_window(horizon + lookahead)
+
+    unfinished = [process.name for _, process in processes if not process.processed]
+    states: Dict[int, Dict[str, Any]] = {}
+    for node_id in plan.shard_nodes[rank]:
+        state = ps.states[node_id]
+        if state.outstanding or state.barrier_waiters:
+            raise SimulationError(
+                f"shard {rank}: node {node_id} still has in-flight operations "
+                "at epoch quiescence"
+            )
+        states[node_id] = {
+            name: value for name, value in vars(state).items() if name not in _STATE_SKIP
+        }
+    return {
+        "rank": rank,
+        "now": sim._now,
+        "sequence": sim._sequence,
+        "states": states,
+        "node_rngs": {node_id: ps.nodes[node_id].rng for node_id in plan.shard_nodes[rank]},
+        "clients": {
+            index: {
+                name: value
+                for name, value in vars(client).items()
+                if name not in _CLIENT_SKIP
+            }
+            for index, client in owned_clients
+        },
+        "channel_clocks": {
+            channel: clock.last
+            for channel, clock in network._channel_clock.items()
+            if node_ranks[channel[0]] == rank
+        },
+        "stats_delta": _stats_delta(network.stats, stats_snapshot),
+        "worker_results": {index: process.value for index, process in processes},
+        "unfinished": unfinished,
+    }
+
+
+def _shard_child_main(
+    ps: Any,
+    rank: int,
+    plan: ShardPlan,
+    worker_fn: Callable[[Any, int], Generator],
+    owned_clients: Sequence[Tuple[int, Any]],
+    conns: Dict[int, Any],
+    result_conn: Any,
+    timeout: float,
+) -> None:
+    try:
+        payload = _run_shard(ps, rank, plan, worker_fn, owned_clients, conns, timeout)
+    except BaseException:
+        payload = {"rank": rank, "error": traceback.format_exc()}
+    result_conn.send(payload)
+    result_conn.close()
+    # Skip atexit/teardown inherited from the parent: the forked image must
+    # not flush the parent's buffers or tear down shared resources twice.
+    os._exit(0)
+
+
+# -------------------------------------------------------------------- parent
+def _apply_payload(ps: Any, plan: ShardPlan, clients: Sequence[Any], payload: Dict) -> None:
+    """Merge one shard's end-of-epoch state into the parent image."""
+    network = ps.network
+    for node_id, data in payload["states"].items():
+        # In-place update: sinks, clients, and lanes hold references to the
+        # original NodeState object, which must stay identical.
+        vars(ps.states[node_id]).update(data)
+    for node_id, rng in payload["node_rngs"].items():
+        ps.nodes[node_id].rng = rng
+    for index, data in payload["clients"].items():
+        vars(clients[index]).update(data)
+    for channel, last in payload["channel_clocks"].items():
+        clock = network._channel_clock.get(channel)
+        if clock is None:
+            from repro.simnet.network import _ChannelClock
+
+            clock = network._channel_clock[channel] = _ChannelClock()
+        clock.last = last
+    stats = network.stats
+    delta = payload["stats_delta"]
+    stats.messages_sent += delta["messages_sent"]
+    stats.remote_messages += delta["remote_messages"]
+    stats.local_messages += delta["local_messages"]
+    stats.bytes_sent += delta["bytes_sent"]
+    stats.dropped_messages += delta["dropped_messages"]
+    stats.delivery_events += delta["delivery_events"]
+    stats.coalesced_messages += delta["coalesced_messages"]
+    per_channel = stats.per_channel_messages
+    for channel, count in delta["per_channel_messages"].items():
+        per_channel[channel] = per_channel.get(channel, 0) + count
+
+
+def run_workers_parallel(
+    ps: Any,
+    worker_fn: Callable[[Any, int], Generator],
+    clients: Sequence[Any],
+    jobs: int,
+    timeout: float = DEFAULT_BARRIER_TIMEOUT,
+) -> List[Any]:
+    """Run one driver epoch on the parallel engine (caller checked eligibility).
+
+    Forks ``min(jobs, num_nodes)`` shard processes, runs the conservative
+    window protocol to quiescence, merges the shards' state back into the
+    parent, and returns the worker return values in ``clients`` order —
+    exactly the contract of the sequential ``run_workers``.
+    """
+    from repro.ps.base import ParameterServerError
+
+    sim = ps.sim
+    # Drain everything scheduled at or below the current time (coordinator
+    # bootstrap, stray zero-delay events) so the children fork a quiescent
+    # image whose heap holds only future events.
+    while sim._ring or (sim._queue and sim._queue[0][0] <= sim._now):
+        sim.step()
+
+    plan = make_shard_plan(
+        ps.cluster.num_nodes, jobs, ps.cluster.cost_model.network_latency
+    )
+    owned: List[List[Tuple[int, Any]]] = [[] for _ in range(plan.num_shards)]
+    for index, client in enumerate(clients):
+        owned[plan.node_ranks[client.node_id]].append((index, client))
+
+    ctx = multiprocessing.get_context("fork")
+    # Pairwise duplex pipes for the window exchange: conns[i][j] is shard
+    # i's connection to shard j.  Per-peer channels keep rounds framed (one
+    # recv per peer per round) without any cross-round buffering.
+    conns: List[Dict[int, Any]] = [{} for _ in range(plan.num_shards)]
+    for i in range(plan.num_shards):
+        for j in range(i + 1, plan.num_shards):
+            end_i, end_j = ctx.Pipe(duplex=True)
+            conns[i][j] = end_i
+            conns[j][i] = end_j
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(plan.num_shards)]
+
+    children = []
+    try:
+        for rank in range(plan.num_shards):
+            child = ctx.Process(
+                target=_shard_child_main,
+                args=(
+                    ps,
+                    rank,
+                    plan,
+                    worker_fn,
+                    owned[rank],
+                    conns[rank],
+                    result_pipes[rank][1],
+                    timeout,
+                ),
+                name=f"sim-shard-{rank}",
+            )
+            child.daemon = True
+            child.start()
+            children.append(child)
+        # The parent's copies of the exchange fds are not used; close them so
+        # repeated epochs do not accumulate descriptors.
+        for rank in range(plan.num_shards):
+            for conn in conns[rank].values():
+                conn.close()
+            result_pipes[rank][1].close()
+
+        payloads: List[Optional[Dict]] = [None] * plan.num_shards
+        for rank in range(plan.num_shards):
+            receiver = result_pipes[rank][0]
+            if not receiver.poll(timeout):
+                raise ParameterServerError(
+                    f"parallel engine: shard {rank} produced no result within "
+                    f"{timeout}s (deadlocked shard barrier?)"
+                )
+            payloads[rank] = receiver.recv()
+        for child in children:
+            child.join()
+    finally:
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+                child.join()
+        for rank in range(plan.num_shards):
+            result_pipes[rank][0].close()
+
+    errors = [p["error"] for p in payloads if p is not None and "error" in p]
+    if errors:
+        raise ParameterServerError(
+            "parallel engine: shard process failed:\n" + "\n".join(errors)
+        )
+    unfinished = [name for p in payloads for name in p["unfinished"]]
+    if unfinished:
+        raise ParameterServerError(
+            f"worker process {unfinished[0]} did not finish "
+            "(deadlock or time limit reached)"
+        )
+
+    results: List[Any] = [None] * len(clients)
+    final_now = sim._now
+    final_sequence = sim._sequence
+    for payload in payloads:
+        _apply_payload(ps, plan, clients, payload)
+        for index, value in payload["worker_results"].items():
+            results[index] = value
+        if payload["now"] > final_now:
+            final_now = payload["now"]
+        if payload["sequence"] > final_sequence:
+            final_sequence = payload["sequence"]
+    sim._now = final_now
+    sim._sequence = final_sequence
+    return results
+
+
+def warn_parallel_fallback(reason: str) -> None:
+    """Emit the (single-line) fallback warning mandated by the engine contract."""
+    warnings.warn(
+        f"parallel engine: falling back to jobs=1 ({reason})",
+        RuntimeWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,41 @@
+"""Smoke test for the parallel-engine example.
+
+``examples/parallel_engine.py`` is a demo script, not part of the library,
+so nothing else in the suite would notice if a runner-API change broke it.
+This test runs it end-to-end on a tiny workload and asserts that it
+completes, reports both engine runs, and confirms bit-identity.
+"""
+
+import os
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLES = os.path.join(ROOT, "examples")
+
+
+@pytest.fixture()
+def parallel_engine():
+    if EXAMPLES not in sys.path:
+        sys.path.insert(0, EXAMPLES)
+    import parallel_engine
+
+    return parallel_engine
+
+
+def test_parallel_engine_smoke(parallel_engine, capsys):
+    exit_code = parallel_engine.main(["--jobs", "2", "--smoke"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "jobs=1" in output
+    assert "jobs=2" in output
+    assert "bit-identical" in output
+    assert "speedup" in output
+
+
+def test_parallel_engine_help(parallel_engine, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        parallel_engine.main(["--help"])
+    assert excinfo.value.code == 0
+    assert "--jobs" in capsys.readouterr().out

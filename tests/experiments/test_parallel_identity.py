@@ -1,0 +1,143 @@
+"""Bit-identity sweep: parallel shard engine vs the sequential kernel.
+
+The parallel engine (``repro.simnet.parallel``) claims that forking the
+simulated nodes across shard processes leaves results *bit-identical* to the
+single-process kernel.  This sweep runs every system on every workload twice
+— once with ``jobs=1``, once with ``jobs=2`` — and requires exact equality
+of simulated epoch durations (full float precision), message and byte
+counts, training losses, the aggregated PS metric counters, and (for MF)
+the final model parameters.
+
+``jobs=2`` forks two shard processes regardless of host core count, so the
+determinism bar holds even on single-core CI runners; only the *speedup*
+claims (``benchmarks/bench_perf.py``) need real parallel hardware.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    KGEScale,
+    MFScale,
+    W2VScale,
+    make_parameter_server,
+    run_kge_experiment,
+    run_mf_experiment,
+    run_w2v_experiment,
+)
+
+#: Every PS variant of the runner that supports all three workloads.
+SYSTEMS = (
+    "classic",
+    "classic_fast_local",
+    "lapse",
+    "stale_ssp",
+    "stale_ssppush",
+    "replica",
+    "hybrid",
+)
+
+MF = MFScale(num_rows=32, num_cols=16, num_entries=300, rank=4)
+KGE = KGEScale(num_entities=40, num_relations=4, num_triples=60, entity_dim=2)
+W2V = W2VScale(vocabulary_size=50, num_sentences=8)
+
+#: Cluster shape shared by the sweep: four nodes so that jobs=2 gives each
+#: shard two nodes (exercising both intra- and cross-shard traffic).
+NODES = dict(num_nodes=4, workers_per_node=2, epochs=2, seed=3)
+
+
+def _fingerprint(result):
+    return (
+        tuple(repr(epoch.duration) for epoch in result.epochs),
+        tuple(repr(epoch.loss) for epoch in result.epochs),
+        result.remote_messages,
+        result.bytes_sent,
+        result.metrics.as_dict() if result.metrics else None,
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_mf_identical(system):
+    seq = run_mf_experiment(system, scale=MF, compute_loss=True, **NODES)
+    par = run_mf_experiment(system, scale=MF, compute_loss=True, jobs=2, **NODES)
+    assert par.jobs == 2
+    assert _fingerprint(seq) == _fingerprint(par)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_kge_identical(system):
+    seq = run_kge_experiment(system, scale=KGE, compute_loss=True, **NODES)
+    par = run_kge_experiment(system, scale=KGE, compute_loss=True, jobs=2, **NODES)
+    assert _fingerprint(seq) == _fingerprint(par)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_w2v_identical(system):
+    seq = run_w2v_experiment(system, scale=W2V, compute_error=True, **NODES)
+    par = run_w2v_experiment(system, scale=W2V, compute_error=True, jobs=2, **NODES)
+    assert _fingerprint(seq) == _fingerprint(par)
+
+
+def _train_mf(system, jobs):
+    from repro.config import ClusterConfig, ParameterServerConfig
+    from repro.data import generate_matrix
+    from repro.ml import MatrixFactorizationConfig, MatrixFactorizationTrainer
+
+    cluster = ClusterConfig(num_nodes=4, workers_per_node=2)
+    matrix = generate_matrix(num_rows=32, num_cols=16, num_entries=300, seed=3)
+    ps = make_parameter_server(
+        system,
+        cluster,
+        ParameterServerConfig(num_keys=matrix.num_cols, value_length=4),
+        jobs=jobs,
+    )
+    trainer = MatrixFactorizationTrainer(
+        ps, matrix, MatrixFactorizationConfig(rank=4), seed=3
+    )
+    trainer.train(num_epochs=2, compute_loss=False)
+    return trainer.column_factors(), trainer.row_factors
+
+
+@pytest.mark.parametrize("system", ("lapse", "hybrid"))
+def test_mf_model_parameters_bit_identical(system):
+    """Final model parameters match exactly, not just aggregate counters."""
+    seq_cols, seq_rows = _train_mf(system, jobs=1)
+    par_cols, par_rows = _train_mf(system, jobs=2)
+    assert np.array_equal(seq_cols, par_cols)
+    assert np.array_equal(seq_rows, par_rows)
+
+
+def test_four_shards_identical():
+    """More shards than strictly divide the cluster still merge identically."""
+    seq = run_kge_experiment("lapse", scale=KGE, compute_loss=True, **NODES)
+    par = run_kge_experiment("lapse", scale=KGE, compute_loss=True, jobs=4, **NODES)
+    assert _fingerprint(seq) == _fingerprint(par)
+
+
+def test_elastic_falls_back_to_sequential():
+    """Elastic runs are ineligible: jobs>1 warns once and matches jobs=1."""
+    from repro.cluster import ClusterSchedule
+    from repro.experiments.runner import run_elastic_mf_experiment
+
+    def run(jobs):
+        schedule = ClusterSchedule().join(0.002, node=2)
+        return run_elastic_mf_experiment(
+            "lapse",
+            num_nodes=3,
+            initial_nodes=(0, 1),
+            schedule=schedule,
+            scale=MF,
+            workers_per_node=2,
+            epochs=2,
+            jobs=jobs,
+        )
+
+    seq = run(1)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        par = run(2)
+    messages = [str(w.message) for w in caught if w.category is RuntimeWarning]
+    assert any("elastic" in message for message in messages)
+    assert _fingerprint(seq) == _fingerprint(par)

@@ -1,0 +1,95 @@
+"""Tests for the clock abstraction shared by the execution backends.
+
+The :class:`~repro.simnet.clock.Clock` contract is small but load-bearing:
+epoch durations, relocation timestamps, and the parallel engine's window
+bookkeeping all reduce to ``end - start`` against ``.now``.  These tests pin
+the two implementations' observable guarantees — monotonicity and
+cross-process comparability for :class:`WallClock`, and exact kernel-time
+tracking (including zero-duration advances and ``until`` cutoffs) for
+:class:`SimulatedClock`.
+"""
+
+import time
+
+import pytest
+
+from repro.simnet.clock import Clock, SimulatedClock, WallClock
+from repro.simnet.kernel import Simulator
+
+
+def test_base_clock_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Clock().now
+
+
+# ------------------------------------------------------------------ wall clock
+def test_wallclock_starts_near_zero_and_is_monotonic():
+    clock = WallClock()
+    first = clock.now
+    assert first >= 0.0
+    readings = [clock.now for _ in range(100)]
+    assert all(b >= a for a, b in zip(readings, readings[1:]))
+    assert readings[0] >= first
+
+
+def test_wallclock_tracks_real_elapsed_time():
+    clock = WallClock()
+    before = clock.now
+    time.sleep(0.02)
+    elapsed = clock.now - before
+    assert elapsed >= 0.02
+
+
+def test_wallclock_absolute_is_shared_not_relative():
+    """``absolute()`` is the raw monotonic reading: two clocks created at
+    different times agree on it even though their relative ``.now`` differ."""
+    first = WallClock()
+    time.sleep(0.01)
+    second = WallClock()
+    a, b = first.absolute(), second.absolute()
+    assert abs(b - a) < 1.0
+    # Relative readings differ by the construction gap; absolute ones do not.
+    assert first.now > second.now
+
+
+# ------------------------------------------------------------- simulated clock
+def test_simulated_clock_reads_kernel_time():
+    sim = Simulator()
+    clock = SimulatedClock(sim)
+    assert clock.now == 0.0
+    sim.call_later(2.5, lambda _arg: None)
+    sim.run()
+    assert clock.now == 2.5 == sim.now
+
+
+def test_simulated_clock_zero_duration_advance():
+    """Processing any number of same-instant events advances the clock by
+    exactly zero — durations measured around immediate work are 0.0, not a
+    tiny epsilon."""
+    sim = Simulator()
+    clock = SimulatedClock(sim)
+    sim.call_later(1.0, lambda _arg: None)
+    sim.run()
+    before = clock.now
+    fired = []
+    for index in range(50):
+        sim.call_later(0.0, fired.append, index)
+    sim.run()
+    assert fired == list(range(50))
+    assert clock.now == before == 1.0
+
+
+def test_simulated_clock_respects_run_cutoff():
+    """``run(until=...)`` leaves the clock at the cutoff, not at the next
+    pending event, and resuming continues from there."""
+    sim = Simulator()
+    clock = SimulatedClock(sim)
+    fired = []
+    sim.call_later(1.0, fired.append, "early")
+    sim.call_later(3.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert clock.now == 2.0
+    sim.run()
+    assert fired == ["early", "late"]
+    assert clock.now == 3.0

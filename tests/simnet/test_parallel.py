@@ -1,0 +1,207 @@
+"""Unit tests for the parallel shard engine building blocks.
+
+The end-to-end bit-identity bar lives in
+``tests/experiments/test_parallel_identity.py``; this file covers the
+pieces in isolation: the node partition, the kernel's shard mode (lineage
+keys, ``run_window`` bounds), and the eligibility gate that decides when a
+workload falls back to the sequential engine.
+"""
+
+import warnings
+
+import pytest
+
+from repro.config import ClusterConfig, ParameterServerConfig
+from repro.errors import ExperimentError, SimulationError
+from repro.experiments import make_parameter_server
+from repro.simnet.kernel import Simulator
+from repro.simnet.parallel import (
+    make_shard_plan,
+    parallel_fallback_reason,
+    warn_parallel_fallback,
+)
+
+
+# ------------------------------------------------------------------ shard plan
+def test_plan_partitions_nodes_into_contiguous_blocks():
+    plan = make_shard_plan(num_nodes=8, jobs=4, lookahead=0.5)
+    assert plan.num_shards == 4
+    assert plan.shard_nodes == [[0, 1], [2, 3], [4, 5], [6, 7]]
+    assert plan.node_ranks == {n: n // 2 for n in range(8)}
+    assert plan.lookahead == 0.5
+
+
+def test_plan_caps_shards_at_node_count():
+    plan = make_shard_plan(num_nodes=3, jobs=8, lookahead=0.1)
+    assert plan.num_shards == 3
+    assert plan.shard_nodes == [[0], [1], [2]]
+
+
+def test_plan_spreads_uneven_remainders():
+    plan = make_shard_plan(num_nodes=5, jobs=2, lookahead=0.1)
+    assert plan.num_shards == 2
+    # Every node appears exactly once and blocks stay contiguous.
+    assert sorted(n for nodes in plan.shard_nodes for n in nodes) == [0, 1, 2, 3, 4]
+    assert all(nodes == sorted(nodes) for nodes in plan.shard_nodes)
+    assert max(len(nodes) for nodes in plan.shard_nodes) <= 3
+
+
+# ------------------------------------------------------------------ simulator
+def test_simulator_rejects_invalid_jobs():
+    with pytest.raises(SimulationError):
+        Simulator(jobs=0)
+
+
+def test_make_parameter_server_rejects_invalid_engine_combinations():
+    cluster = ClusterConfig(num_nodes=2, workers_per_node=1)
+    config = ParameterServerConfig(num_keys=4, value_length=2)
+    with pytest.raises(ExperimentError):
+        make_parameter_server("lapse", cluster, config, engine="bogus")
+    with pytest.raises(ExperimentError):
+        make_parameter_server("lapse", cluster, config, jobs=0)
+    with pytest.raises(ExperimentError):
+        make_parameter_server(
+            "lapse", cluster, config, backend="real", engine="parallel"
+        )
+
+
+def test_jobs_flow_into_the_simulator():
+    cluster = ClusterConfig(num_nodes=4, workers_per_node=1)
+    config = ParameterServerConfig(num_keys=4, value_length=2)
+    ps = make_parameter_server("lapse", cluster, config, jobs=3)
+    assert ps.jobs == 3
+    assert ps.sim.jobs == 3
+
+
+# ------------------------------------------------------------------ shard mode
+def test_enter_shard_mode_requires_a_drained_ring():
+    sim = Simulator()
+    order = []
+    sim.call_later(0.0, order.append, "immediate")
+    with pytest.raises(SimulationError):
+        sim.enter_shard_mode(0)
+
+
+def test_enter_shard_mode_is_not_reentrant():
+    sim = Simulator()
+    sim.enter_shard_mode(0)
+    with pytest.raises(SimulationError):
+        sim.enter_shard_mode(1)
+
+
+def test_run_window_requires_shard_mode():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run_window(1.0)
+
+
+def test_run_window_upper_bound_is_exclusive():
+    sim = Simulator()
+    order = []
+    sim.call_later(1.0, order.append, "at-bound")
+    sim.call_later(0.5, order.append, "inside")
+    sim.enter_shard_mode(0)
+    sim.run_window(1.0)
+    assert order == ["inside"]
+    assert sim.now == 0.5  # the clock does not jump to an empty bound
+    sim.run_window(1.5)
+    assert order == ["inside", "at-bound"]
+    assert sim.now == 1.0
+
+
+def test_run_window_preserves_pre_fork_order_and_cascades():
+    """Pre-fork heap entries keep their global order; same-instant children
+    scheduled during the window run after every older heap entry at that
+    instant — exactly like the sequential fastpath (ring entries are newer
+    than any heap entry at the current time)."""
+    sim = Simulator()
+    order = []
+
+    def cascade(tag):
+        order.append(tag)
+        if tag == "a":
+            sim.call_later(0.0, order.append, "a-child")
+
+    sim.call_later(1.0, cascade, "a")
+    sim.call_later(1.0, cascade, "b")
+    sim.enter_shard_mode(0)
+    sim.run_window(2.0)
+    assert order == ["a", "b", "a-child"]
+
+
+def test_schedule_foreign_merges_by_sender_lineage():
+    """A foreign record scheduled at an earlier instant sorts ahead of a
+    local event at the same delivery time (smaller sched_time => smaller
+    sequential sequence number)."""
+    sim = Simulator()
+    order = []
+    sim.call_later(1.0, order.append, "local")  # pre-fork, sched_time -1.0
+    sim.enter_shard_mode(0)
+    # Sender lineage: scheduled at t=0.2 by another shard's root context.
+    sim.schedule_foreign(1.0, (0.2, (), 1, 7, 0), order.append, "foreign")
+    sim.run_window(2.0)
+    assert order == ["local", "foreign"]
+
+
+# ------------------------------------------------------------------ fallbacks
+def _make_ps(num_nodes=4, **kwargs):
+    cluster = ClusterConfig(num_nodes=num_nodes, workers_per_node=1)
+    config = ParameterServerConfig(num_keys=4, value_length=2)
+    return make_parameter_server("lapse", cluster, config, **kwargs)
+
+
+def test_eligible_workload_has_no_fallback_reason():
+    assert parallel_fallback_reason(_make_ps()) is None
+
+
+def test_fallback_on_time_cutoff():
+    assert "cutoff" in parallel_fallback_reason(_make_ps(), until=1.0)
+
+
+def test_fallback_on_single_node_cluster():
+    assert "single node" in parallel_fallback_reason(_make_ps(num_nodes=1))
+
+
+def test_fallback_on_reference_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_FASTPATH", "1")
+    assert "reference engine" in parallel_fallback_reason(_make_ps())
+
+
+def test_fallback_on_failed_nodes():
+    ps = _make_ps()
+    ps.network.fail_node(3)
+    assert "failed nodes" in parallel_fallback_reason(ps)
+
+
+def test_fallback_on_elastic_membership():
+    from repro.cluster import ClusterSchedule
+    from repro.experiments.runner import make_elastic_mf
+
+    elastic, _trainer = make_elastic_mf(
+        "lapse", num_nodes=2, schedule=ClusterSchedule(), workers_per_node=1
+    )
+    assert "elastic" in parallel_fallback_reason(elastic.ps)
+
+
+def test_fallback_warning_fires_once_per_server():
+    ps = _make_ps(num_nodes=1)
+    ps.jobs = 2
+
+    def idle_worker(client, worker_id):
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ps.run_workers(idle_worker)
+        ps.run_workers(idle_worker)
+    messages = [w for w in caught if w.category is RuntimeWarning]
+    assert len(messages) == 1
+    assert "single node" in str(messages[0].message)
+
+
+def test_warn_parallel_fallback_mentions_the_reason():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_parallel_fallback("it is raining")
+    assert any("it is raining" in str(w.message) for w in caught)
