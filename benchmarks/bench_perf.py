@@ -21,7 +21,10 @@ time.  It records:
   cancels; the fast-path speedup is *asserted*, not hoped for,
 * **end-to-end workloads** — wall-clock seconds and steps per second for the
   paper's MF / KGE / W2V tasks across the classic, Lapse, stale, and replica
-  parameter servers.
+  parameter servers,
+* **tracing overhead** — bit-identity of traced vs untraced runs (asserted)
+  and the wall-clock cost of the dormant tracing hooks
+  (see the "Observability" section of docs/architecture.md).
 
 ``BENCH_PERF.json`` at the repository root keeps a **run history** (schema 2):
 each invocation appends a run entry instead of overwriting, so the perf
@@ -656,6 +659,90 @@ def bench_parallel_engine(smoke, seed=0):
     return report
 
 
+# -------------------------------------------------------------------- tracing
+#: Interleaved hooks-off overhead ratio tolerated before failing.  The policy
+#: target is <= 2% (each disabled hook is one attribute load plus an
+#: ``is not None`` check per operation/message); the asserted floor is far
+#: looser because same-run wall-clock ratios on shared CI machines are noisy.
+TRACING_OFF_OVERHEAD_CEILING = 1.25
+
+
+def bench_tracing(scale, repeats, seed=0):
+    """Tracing overhead and bit-identity on end-to-end MF (classic + lapse).
+
+    Asserts the hard guarantee — a run with tracing *enabled* produces
+    bit-identical simulated results (epoch durations, traffic, counters) to an
+    untraced run — and measures what the dormant hooks cost by interleaving
+    plain runs against ``TraceConfig(enabled=False)`` runs (the identical code
+    path, so the ratio isolates machine noise plus the config check; asserted
+    under :data:`TRACING_OFF_OVERHEAD_CEILING`).  The enabled-tracing ratio
+    and a compact tracer summary (span count, per-op p50/p99) are recorded,
+    never asserted.
+    """
+    from repro.obs import TraceConfig
+
+    report = {"off_overhead_ceiling": TRACING_OFF_OVERHEAD_CEILING}
+    for system in ("classic", "lapse"):
+        def run(trace=None, s=system):
+            return run_mf_experiment(
+                s, num_nodes=2, workers_per_node=2, scale=scale, epochs=1,
+                seed=seed, trace=trace,
+            )
+
+        def fingerprint(result):
+            return (
+                tuple(repr(epoch.duration) for epoch in result.epochs),
+                result.remote_messages,
+                result.bytes_sent,
+                result.metrics.as_dict(),
+            )
+
+        times = {"off": float("inf"), "disabled": float("inf"), "on": float("inf")}
+        plain = traced = None
+        for _ in range(repeats):
+            # Interleave the three variants so machine noise cancels.
+            start = time.perf_counter()
+            plain = run()
+            times["off"] = min(times["off"], time.perf_counter() - start)
+            start = time.perf_counter()
+            run(trace=TraceConfig(enabled=False))
+            times["disabled"] = min(times["disabled"], time.perf_counter() - start)
+            start = time.perf_counter()
+            traced = run(trace=TraceConfig())
+            times["on"] = min(times["on"], time.perf_counter() - start)
+        _require(
+            fingerprint(plain) == fingerprint(traced),
+            f"tracing changed simulated results on {system} MF "
+            "(bit-identity contract violated)",
+        )
+        off_overhead = times["disabled"] / times["off"]
+        summary = traced.tracer.summary()
+        report[system] = {
+            "wall_off_s": times["off"],
+            "wall_disabled_s": times["disabled"],
+            "wall_on_s": times["on"],
+            "off_overhead": off_overhead,
+            "on_overhead": times["on"] / times["off"],
+            "span_count": summary["span_count"],
+            "op_latency": {
+                op: {"count": stats["count"], "p50": stats["p50"], "p99": stats["p99"]}
+                for op, stats in summary["op_latency"].items()
+            },
+        }
+        print(
+            f"  tracing/{system:<10s} off {times['off']:6.3f}s, disabled-config "
+            f"{times['disabled']:6.3f}s ({off_overhead:.2f}x), on "
+            f"{times['on']:6.3f}s ({times['on'] / times['off']:.2f}x, "
+            f"{summary['span_count']} spans), results bit-identical"
+        )
+        _require(
+            off_overhead <= TRACING_OFF_OVERHEAD_CEILING,
+            f"tracing-off overhead on {system} MF is {off_overhead:.2f}x, above "
+            f"the {TRACING_OFF_OVERHEAD_CEILING}x ceiling",
+        )
+    return report
+
+
 # ----------------------------------------------------------------- run history
 def load_report(path):
     """Load a BENCH_PERF report, upgrading schema-1 files to a run list."""
@@ -787,6 +874,8 @@ def main(argv=None):
     parallel_engine = bench_parallel_engine(args.smoke, seed=args.seed)
     if "skipped" in parallel_engine:
         print(f"  skipped: {parallel_engine['skipped']}")
+    print("tracing overhead and bit-identity ...", flush=True)
+    tracing = bench_tracing(engine_scale, repeats=2 if args.smoke else 4, seed=args.seed)
 
     run = {
         "schema_run": 2,
@@ -803,6 +892,7 @@ def main(argv=None):
         "end_to_end": end_to_end,
         "real_backend": real_backend,
         "parallel_engine": parallel_engine,
+        "tracing": tracing,
     }
     report = append_run(args.out, run)
     print(f"wrote {args.out} ({len(report['runs'])} runs in history)")

@@ -15,14 +15,13 @@ same workloads under ``py-spy`` instead — see the "Simulation engine
 performance" section of docs/architecture.md.
 """
 
-import argparse
 import cProfile
 import io
 import pstats
 import sys
 import time
 
-from benchmark_utils import REPO_ROOT  # noqa: F401  (ensures src/ on sys.path)
+from benchmark_utils import make_arg_parser
 
 from repro.experiments.runner import MFScale, run_mf_experiment
 
@@ -30,21 +29,24 @@ from repro.experiments.runner import MFScale, run_mf_experiment
 DEFAULT_SYSTEMS = ("classic", "classic_fast_local", "lapse", "stale_ssp", "replica", "hybrid")
 
 
-def profile_system(system, scale, sort, top, num_nodes=2, workers_per_node=2):
+def profile_system(
+    system, scale, sort, top, num_nodes=2, workers_per_node=2,
+    seed=0, backend="sim", jobs=1,
+):
     """Profile one MF epoch on ``system`` and print the top-``top`` functions."""
     # Warm-up run outside the profile: import costs and lazily built caches
     # (lanes, dispatch tables, epoch plans) would otherwise dominate.
-    start = time.perf_counter()
-    run_mf_experiment(
-        system, num_nodes=num_nodes, workers_per_node=workers_per_node, scale=scale, epochs=1
+    kwargs = dict(
+        num_nodes=num_nodes, workers_per_node=workers_per_node, scale=scale,
+        epochs=1, seed=seed, backend=backend, jobs=jobs,
     )
+    start = time.perf_counter()
+    run_mf_experiment(system, **kwargs)
     warm_seconds = time.perf_counter() - start
 
     profile = cProfile.Profile()
     profile.enable()
-    run_mf_experiment(
-        system, num_nodes=num_nodes, workers_per_node=workers_per_node, scale=scale, epochs=1
-    )
+    run_mf_experiment(system, **kwargs)
     profile.disable()
 
     buffer = io.StringIO()
@@ -52,6 +54,7 @@ def profile_system(system, scale, sort, top, num_nodes=2, workers_per_node=2):
     stats.strip_dirs().sort_stats(sort).print_stats(top)
     steps = scale.num_entries
     print(f"\n=== {system}: one MF epoch, {steps} entries, "
+          f"backend={backend} jobs={jobs} seed={seed}, "
           f"~{steps / warm_seconds:,.0f} steps/s unprofiled ===")
     # Drop the pstats preamble up to the column header for compact output.
     lines = buffer.getvalue().splitlines()
@@ -60,7 +63,10 @@ def profile_system(system, scale, sort, top, num_nodes=2, workers_per_node=2):
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # Shared benchmark CLI (--seed/--out/--smoke/--backend/--jobs) plus the
+    # profiler-specific flags; --out and --smoke are accepted but unused here
+    # (the profile is a printed report, not a JSON artifact).
+    parser = make_arg_parser(__doc__.splitlines()[0])
     parser.add_argument(
         "--systems", nargs="+", default=list(DEFAULT_SYSTEMS),
         help=f"PS variants to profile (default: {' '.join(DEFAULT_SYSTEMS)})",
@@ -75,7 +81,10 @@ def main(argv=None):
 
     scale = MFScale(num_rows=64, num_cols=32, num_entries=args.entries)
     for system in args.systems:
-        profile_system(system, scale, args.sort, args.top)
+        profile_system(
+            system, scale, args.sort, args.top,
+            seed=args.seed, backend=args.backend, jobs=args.jobs,
+        )
     return 0
 
 

@@ -210,6 +210,9 @@ class RealNodeState:
     def __init__(self, ps: "RealParameterServer", node_id: int) -> None:
         self.ps = ps
         self.node_id = node_id
+        # Tracing buffer (a repro.obs.NodeTrace), installed by the tracer when
+        # tracing is enabled — same contract as the simulated NodeState.
+        self.trace: Optional[Any] = None
         self.metrics = PSMetrics()
         self.latches = LatchTable(ps.ps_config.num_latches)
         self.storage = SharedDenseStorage(
@@ -285,6 +288,16 @@ class RealWorkerClient(WorkerClient):
 
     # --------------------------------------------------------------- async API
     def pull_async(self, keys: Sequence[int]) -> _CompletedHandle:
+        trace = self._trace
+        if trace is None:
+            return self._pull_async_impl(keys)
+        clock = self.ps.clock
+        issued = clock.now
+        handle = self._pull_async_impl(keys)
+        self._record_op(trace, "pull", handle.keys, issued, clock.now)
+        return handle
+
+    def _pull_async_impl(self, keys: Sequence[int]) -> _CompletedHandle:
         keys = self._check_keys(keys)
         ps = self.ps
         state = self.state
@@ -375,6 +388,18 @@ class RealWorkerClient(WorkerClient):
     def push_async(
         self, keys: Sequence[int], updates: Any, needs_ack: bool = False
     ) -> _CompletedHandle:
+        trace = self._trace
+        if trace is None:
+            return self._push_async_impl(keys, updates, needs_ack)
+        clock = self.ps.clock
+        issued = clock.now
+        handle = self._push_async_impl(keys, updates, needs_ack)
+        self._record_op(trace, "push", handle.keys, issued, clock.now)
+        return handle
+
+    def _push_async_impl(
+        self, keys: Sequence[int], updates: Any, needs_ack: bool = False
+    ) -> _CompletedHandle:
         keys = self._check_keys(keys)
         updates = self._prepare_updates(keys, updates)
         ps = self.ps
@@ -462,6 +487,16 @@ class RealWorkerClient(WorkerClient):
         return misses
 
     def localize_async(self, keys: Sequence[int]) -> _CompletedHandle:
+        trace = self._trace
+        if trace is None:
+            return self._localize_async_impl(keys)
+        clock = self.ps.clock
+        issued = clock.now
+        handle = self._localize_async_impl(keys)
+        self._record_op(trace, "localize", handle.keys, issued, clock.now)
+        return handle
+
+    def _localize_async_impl(self, keys: Sequence[int]) -> _CompletedHandle:
         keys = self._check_keys(keys)
         ps = self.ps
         policy = ps.management_policy
@@ -541,6 +576,22 @@ class RealWorkerClient(WorkerClient):
             )
         return pending
 
+    # --------------------------------------------------------------- tracing
+    def _record_op(
+        self, trace: Any, op_type: str, keys: Any, issued: float, completed: float
+    ) -> None:
+        """Record one wall-clock operation span plus its heatmap accesses.
+
+        The wrapped ``*_async`` methods block, so issue and completion bracket
+        the whole operation; timestamps come from the server's
+        :class:`~repro.simnet.clock.WallClock` (seconds since construction,
+        comparable across the forked worker processes).
+        """
+        trace.op(op_type, self.worker_id, issued, completed, len(keys))
+        if trace.heat_interval is not None:
+            for key in keys:
+                trace.heat_key(int(key), issued)
+
     # ----------------------------------------------------------- local access
     def pull_if_local(self, key: int) -> Optional[np.ndarray]:
         key = int(self._check_keys([key])[0])
@@ -549,6 +600,9 @@ class RealWorkerClient(WorkerClient):
             if state.storage.contains(key):
                 state.metrics.key_reads_local += 1
                 state.metrics.pulls_local += 1
+                trace = self._trace
+                if trace is not None:
+                    trace.heat_key(key, self.ps.clock.now)
                 return state.read_local(key)
         return None
 
@@ -605,6 +659,9 @@ class RealParameterServer:
     #: durability subsystem check these and are not supported here.
     membership = None
     durability = None
+    #: Installed when a :class:`~repro.obs.TraceConfig` is passed (wall-clock
+    #: time domain; see :mod:`repro.obs`).
+    tracer = None
 
     def __init__(
         self,
@@ -612,6 +669,7 @@ class RealParameterServer:
         cluster: ClusterConfig,
         ps_config: Optional[ParameterServerConfig] = None,
         timeout: float = 300.0,
+        trace: Optional[Any] = None,
     ) -> None:
         if system not in _SYSTEM_SPECS:
             raise ParameterServerError(
@@ -663,6 +721,12 @@ class RealParameterServer:
         self.network = _RealNetwork()
         self._initialize_parameters()
         self._clients: Dict[Tuple[int, int], RealWorkerClient] = {}
+        if trace is not None and trace.enabled:
+            from repro.obs import Tracer
+
+            # Wall-clock time domain: op spans are recorded by the worker
+            # clients (server/network spans are simulator-only).
+            self.tracer = Tracer(self, trace, time_domain="wall")
         self._finalizer = weakref.finalize(
             self, _release_shared, [state.storage for state in self.states], self.directory
         )
@@ -690,9 +754,13 @@ class RealParameterServer:
         key = (node, local_worker)
         if key not in self._clients:
             worker_id = self.cluster.worker_id(node, local_worker)
-            self._clients[key] = self.client_class(
+            client = self.client_class(
                 self, self.states[node], worker_id, local_worker
             )
+            tracer = self.tracer
+            if tracer is not None and tracer.config.ops:
+                client._trace = self.states[node].trace
+            self._clients[key] = client
         return self._clients[key]
 
     def clients(self) -> List[RealWorkerClient]:
@@ -752,11 +820,13 @@ class RealParameterServer:
             while pending_workers:
                 report = self._collect(deadline, processes)
                 if report[0] == "worker_done":
-                    _, worker_id, value, metrics, net = report
+                    _, worker_id, value, metrics, net, spans = report
                     results[worker_id] = value
                     node = self.cluster.node_of_worker(worker_id)
                     self._merge_metrics(node, metrics)
                     self._merge_net(net)
+                    if spans is not None:
+                        self.states[node].trace.merge_from(spans)
                     pending_workers.discard(worker_id)
                 else:
                     self._unexpected_report(report)
@@ -1112,11 +1182,16 @@ class RealParameterServer:
         state = client.state
         state.metrics = PSMetrics()
         client._net = NetworkStats()
+        trace = client._trace
+        if trace is not None:
+            # The forked copy still holds whatever the parent buffer held;
+            # clear it so this child reports only its own span deltas.
+            trace.reset()
         try:
             generator = worker_fn(client, client.worker_id)
             value = self._drive(generator)
             self.parent_queue.put(
-                ("worker_done", client.worker_id, value, state.metrics, client._net)
+                ("worker_done", client.worker_id, value, state.metrics, client._net, trace)
             )
         except BaseException:
             self.parent_queue.put(

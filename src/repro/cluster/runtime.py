@@ -216,6 +216,16 @@ class ElasticCluster:
             raise ClusterError(f"unknown event kind {event.kind!r}")
         self._dynamic = True
         self.operations.append((event, operation))
+        tracer = self.ps.tracer
+        if tracer is not None:
+            tracer.marker(
+                event.node,
+                now,
+                f"membership:{event.kind}",
+                moved_keys=operation.moved_keys,
+                recovered_keys=operation.recovered_keys,
+                lost_keys=operation.lost_keys,
+            )
         if operation.handle is None:
             self._finish_operation(event, operation, record_time=False)
         else:
@@ -233,6 +243,15 @@ class ElasticCluster:
         if record_time:
             self.ps.states[node].metrics.rebalance_time.record(
                 self.ps.sim.now - operation.started_at
+            )
+        tracer = self.ps.tracer
+        if tracer is not None:
+            tracer.marker(
+                node,
+                self.ps.sim.now,
+                f"rebalance:{event.kind}:complete",
+                duration=self.ps.sim.now - operation.started_at,
+                moved_keys=operation.moved_keys,
             )
         if event.kind in (JOIN, REJOIN) and membership.state_of(node) == JOINING:
             membership.complete_join(node, self.ps.sim.now)

@@ -73,3 +73,9 @@ class ClusterError(ReproError):
     """Raised for invalid elastic-cluster operations (membership, schedules,
     rebalancing) — e.g. an illegal lifecycle transition or an event targeting
     a node outside the cluster's capacity."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for invalid tracing/telemetry operations (misconfigured
+    :class:`~repro.obs.TraceConfig`, malformed trace files, schema-validation
+    failures in the Chrome trace-event exporter)."""

@@ -9,6 +9,7 @@
 """
 
 from repro.experiments.reporting import (
+    LATENCY_COUNTERS,
     MANAGEMENT_COUNTERS,
     format_table,
     merge_metrics,
@@ -43,6 +44,7 @@ __all__ = [
     "DEFAULT_PARALLELISM",
     "ELASTIC_SCALING_SYSTEMS",
     "KGEScale",
+    "LATENCY_COUNTERS",
     "MANAGEMENT_COUNTERS",
     "MFScale",
     "REPLICATION_COMPARISON_SYSTEMS",

@@ -28,6 +28,18 @@ MANAGEMENT_COUNTERS = (
     "replica_sync_bytes",
 )
 
+#: Latency-distribution projections of the :class:`RunningStat` fields: the
+#: streaming-histogram percentiles next to the means the paper's Table 5
+#: reports.  Usable as (or merged into) the ``counters`` argument of
+#: :func:`metrics_rows`.
+LATENCY_COUNTERS = (
+    "mean_relocation_time",
+    "p50_relocation_time",
+    "p99_relocation_time",
+    "mean_blocking_time",
+    "p99_blocking_time",
+)
+
 #: Durability-subsystem counters (WAL, checkpoints, crash recovery).
 DURABILITY_COUNTERS = (
     "wal_appends",
@@ -121,8 +133,9 @@ def merge_metrics(parts: Iterable[Optional[PSMetrics]]) -> PSMetrics:
 def _metrics_from_partial(counters: Mapping[str, object]) -> PSMetrics:
     """Build a :class:`PSMetrics` from a (possibly partial) counter mapping.
 
-    Derived ``mean_*`` entries (the :class:`RunningStat` projections of
-    ``as_dict``) are ignored — a mean cannot be merged without its count.
+    Derived ``mean_*`` / ``p50_*`` / ``p99_*`` entries (the
+    :class:`RunningStat` projections of ``as_dict``) are ignored — a point
+    estimate cannot be merged without its sample counts.
     """
     metrics = PSMetrics()
     stat_fields = {
@@ -131,7 +144,11 @@ def _metrics_from_partial(counters: Mapping[str, object]) -> PSMetrics:
         if isinstance(getattr(metrics, spec.name), RunningStat)
     }
     scalar_fields = {spec.name for spec in fields(PSMetrics)} - stat_fields
-    derived = {f"mean_{name}" for name in stat_fields}
+    derived = {
+        f"{prefix}_{name}"
+        for name in stat_fields
+        for prefix in ("mean", "p50", "p99")
+    }
     for name, value in counters.items():
         if name in derived:
             continue

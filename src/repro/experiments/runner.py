@@ -101,6 +101,7 @@ def make_parameter_server(
     backend: str = "sim",
     engine: str = "sim",
     jobs: int = 1,
+    trace: Optional[Any] = None,
 ) -> ParameterServer:
     """Instantiate the PS variant named ``system`` on ``cluster``.
 
@@ -109,7 +110,11 @@ def make_parameter_server(
     restricted to the initially active nodes.  ``durability`` optionally
     installs the durability subsystem (a
     :class:`~repro.durability.DurabilityConfig`): per-node WAL + checkpoints;
-    ``None`` leaves the fast path untouched.
+    ``None`` leaves the fast path untouched.  ``trace`` optionally installs
+    the tracing/telemetry subsystem (a :class:`~repro.obs.TraceConfig`):
+    per-op spans, latency histograms, counter time series, and Perfetto
+    export via ``ps.tracer`` — observation only, so traced runs stay
+    bit-identical; ``None`` leaves the fast path untouched.
 
     ``backend`` selects the execution substrate: ``"sim"`` (default) runs on
     the discrete-event simulator, ``"real"`` on actual processes with
@@ -154,10 +159,10 @@ def make_parameter_server(
             raise ExperimentError(
                 "the real backend does not support the durability subsystem"
             )
-        return RealParameterServer(system, cluster, ps_config)
+        return RealParameterServer(system, cluster, ps_config, trace=trace)
     if backend != "sim":
         raise ExperimentError(f"unknown backend {backend!r}; choose 'sim' or 'real'")
-    ps = _make_sim_ps(system, cluster, ps_config, partitioner, durability)
+    ps = _make_sim_ps(system, cluster, ps_config, partitioner, durability, trace)
     if jobs > 1:
         ps.jobs = jobs
         ps.sim.jobs = jobs
@@ -170,40 +175,26 @@ def _make_sim_ps(
     ps_config: ParameterServerConfig,
     partitioner: Optional[KeyPartitioner],
     durability: Optional[Any],
+    trace: Optional[Any] = None,
 ) -> ParameterServer:
+    extras = dict(partitioner=partitioner, durability=durability, trace=trace)
     if system == "classic":
-        return ClassicIPCPS(cluster, ps_config, partitioner=partitioner, durability=durability)
+        return ClassicIPCPS(cluster, ps_config, **extras)
     if system == "classic_fast_local":
-        return ClassicSharedMemoryPS(cluster, ps_config, partitioner=partitioner, durability=durability)
+        return ClassicSharedMemoryPS(cluster, ps_config, **extras)
     if system in ("lapse", "lapse_clustering_only"):
-        return LapsePS(cluster, ps_config, partitioner=partitioner, durability=durability)
+        return LapsePS(cluster, ps_config, **extras)
     if system == "stale_ssp":
-        return StalePS(
-            cluster,
-            replace(ps_config, stale_server_push=False),
-            partitioner=partitioner,
-            durability=durability,
-        )
+        return StalePS(cluster, replace(ps_config, stale_server_push=False), **extras)
     if system == "stale_ssppush":
-        return StalePS(
-            cluster,
-            replace(ps_config, stale_server_push=True),
-            partitioner=partitioner,
-            durability=durability,
-        )
+        return StalePS(cluster, replace(ps_config, stale_server_push=True), **extras)
     if system == "replica":
         return ReplicaPS(
-            cluster,
-            replace(ps_config, replica_sync_trigger="time"),
-            partitioner=partitioner,
-            durability=durability,
+            cluster, replace(ps_config, replica_sync_trigger="time"), **extras
         )
     if system == "replica_clock":
         return ReplicaPS(
-            cluster,
-            replace(ps_config, replica_sync_trigger="clock"),
-            partitioner=partitioner,
-            durability=durability,
+            cluster, replace(ps_config, replica_sync_trigger="clock"), **extras
         )
     if system == "hybrid":
         # Threshold > 1 so that one-off reads stay relocatable: only keys a
@@ -216,8 +207,7 @@ def _make_sim_ps(
                 hot_key_policy="access_count",
                 hot_key_threshold=HYBRID_HOT_KEY_THRESHOLD,
             ),
-            partitioner=partitioner,
-            durability=durability,
+            **extras,
         )
     raise ExperimentError(f"unknown system {system!r}")
 
@@ -239,6 +229,9 @@ class TaskRunResult:
     backend: str = "sim"
     #: Shard count of the parallel simulation engine (1 = sequential kernel).
     jobs: int = 1
+    #: The run's :class:`~repro.obs.Tracer` when tracing was enabled (call
+    #: ``result.tracer.export(path)`` / ``.summary()``); ``None`` otherwise.
+    tracer: Optional[Any] = field(default=None, compare=False, repr=False)
 
     @property
     def epoch_duration(self) -> float:
@@ -330,12 +323,14 @@ def run_mf_experiment(
     durability: Optional[Any] = None,
     backend: str = "sim",
     jobs: int = 1,
+    trace: Optional[Any] = None,
 ) -> TaskRunResult:
     """Run DSGD matrix factorization (Figures 6 and 9).
 
     With ``backend="real"`` the same workload executes on actual worker
     processes (classic, classic_fast_local, lapse) and epoch durations are
-    wall-clock seconds.
+    wall-clock seconds.  ``trace`` installs the tracing subsystem (ignored by
+    the handle-free ``lowlevel`` baseline).
     """
     scale = scale or MFScale()
     matrix = generate_matrix(
@@ -369,7 +364,13 @@ def run_mf_experiment(
         )
     ps_config = ParameterServerConfig(num_keys=scale.num_cols, value_length=scale.rank)
     ps = make_parameter_server(
-        system, cluster, ps_config, durability=durability, backend=backend, jobs=jobs
+        system,
+        cluster,
+        ps_config,
+        durability=durability,
+        backend=backend,
+        jobs=jobs,
+        trace=trace,
     )
     try:
         trainer = MatrixFactorizationTrainer(ps, matrix, mf_config, seed=seed)
@@ -385,6 +386,7 @@ def run_mf_experiment(
             bytes_sent=ps.network.stats.bytes_sent,
             backend=backend,
             jobs=jobs,
+            tracer=ps.tracer,
         )
     finally:
         if backend == "real":
@@ -404,6 +406,7 @@ def run_kge_experiment(
     durability: Optional[Any] = None,
     backend: str = "sim",
     jobs: int = 1,
+    trace: Optional[Any] = None,
 ) -> TaskRunResult:
     """Run knowledge-graph-embedding training (Figures 1 and 7, Table 5)."""
     if backend != "sim":
@@ -430,7 +433,7 @@ def run_kge_experiment(
     ps_config = ParameterServerConfig(
         num_keys=keyspace.num_keys, value_length=kge_config.value_length
     )
-    ps = make_parameter_server(system, cluster, ps_config, jobs=jobs)
+    ps = make_parameter_server(system, cluster, ps_config, jobs=jobs, trace=trace)
     trainer = KGETrainer(ps, graph, kge_config, seed=seed)
     epoch_results = trainer.train(num_epochs=epochs, compute_loss=compute_loss)
     return TaskRunResult(
@@ -443,6 +446,7 @@ def run_kge_experiment(
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
         jobs=jobs,
+        tracer=ps.tracer,
     )
 
 
@@ -458,6 +462,7 @@ def make_elastic_mf(
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
     jobs: int = 1,
+    trace: Optional[Any] = None,
 ):
     """Build an elastic matrix-factorization run: ``(elastic, trainer)``.
 
@@ -481,7 +486,13 @@ def make_elastic_mf(
         scale.num_cols, num_nodes, active_nodes=initial_nodes, kind="range"
     )
     ps = make_parameter_server(
-        system, cluster, ps_config, partitioner=partitioner, durability=durability, jobs=jobs
+        system,
+        cluster,
+        ps_config,
+        partitioner=partitioner,
+        durability=durability,
+        jobs=jobs,
+        trace=trace,
     )
     elastic = ElasticCluster(ps, initial_nodes=initial_nodes, schedule=schedule)
     mf_config = MatrixFactorizationConfig(
@@ -504,6 +515,7 @@ def run_elastic_mf_experiment(
     cost_model: Optional[CostModel] = None,
     durability: Optional[Any] = None,
     jobs: int = 1,
+    trace: Optional[Any] = None,
 ) -> TaskRunResult:
     """Elastic counterpart of :func:`run_mf_experiment`.
 
@@ -523,6 +535,7 @@ def run_elastic_mf_experiment(
         cost_model=cost_model,
         durability=durability,
         jobs=jobs,
+        trace=trace,
     )
     epoch_results = [
         elastic.run_epoch(trainer, compute_loss=compute_loss) for _ in range(epochs)
@@ -538,6 +551,7 @@ def run_elastic_mf_experiment(
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
         jobs=jobs,
+        tracer=ps.tracer,
     )
 
 
@@ -552,6 +566,7 @@ def run_w2v_experiment(
     cost_model: Optional[CostModel] = None,
     backend: str = "sim",
     jobs: int = 1,
+    trace: Optional[Any] = None,
 ) -> TaskRunResult:
     """Run skip-gram word-vector training (Figure 8)."""
     if backend != "sim":
@@ -580,7 +595,7 @@ def run_w2v_experiment(
     ps_config = ParameterServerConfig(
         num_keys=2 * scale.vocabulary_size, value_length=scale.dim
     )
-    ps = make_parameter_server(system, cluster, ps_config, jobs=jobs)
+    ps = make_parameter_server(system, cluster, ps_config, jobs=jobs, trace=trace)
     trainer = Word2VecTrainer(ps, corpus, w2v_config, seed=seed)
     epoch_results = trainer.train(num_epochs=epochs, compute_error=compute_error)
     return TaskRunResult(
@@ -593,4 +608,5 @@ def run_w2v_experiment(
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
         jobs=jobs,
+        tracer=ps.tracer,
     )

@@ -1,0 +1,74 @@
+"""Configuration of the tracing and telemetry subsystem.
+
+:class:`TraceConfig` is threaded through
+:func:`~repro.experiments.runner.make_parameter_server` (and the
+``ParameterServer`` constructors) exactly like ``durability=``: passing
+``None`` — the default everywhere — leaves the hot path untouched, so a
+run without tracing pays nothing beyond one attribute-load-and-``None``
+check per hooked operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Default :class:`~repro.ps.metrics.PSMetrics` counters sampled into the
+#: per-node time series.  All must be scalar counter fields (the streaming
+#: :class:`~repro.ps.metrics.RunningStat` fields cannot be sampled as points).
+DEFAULT_SAMPLED_COUNTERS: Tuple[str, ...] = (
+    "server_messages",
+    "key_reads_local",
+    "key_reads_remote",
+    "key_writes_local",
+    "key_writes_remote",
+    "relocations",
+    "queued_ops",
+    "cache_hits",
+    "replica_sync_bytes",
+)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What to record while a parameter server runs.
+
+    Attributes:
+        enabled: Master switch.  ``TraceConfig(enabled=False)`` behaves
+            exactly like passing no config at all (no tracer is installed).
+        ops: Record one span per client operation (pull/push/localize,
+            sync and async), attributed to the issuing worker.
+        fused: Record spans for fused local steps
+            (:class:`~repro.ps.base.FusedLocalSteps`), replayed at the fused
+            runner's deferred clock.
+        server: Record one span per server-handled message with the
+            arrival → queue-wait → busy breakdown.
+        network: Record one span per delivered wire message (send instant to
+            delivery instant), attributed to the sending node.
+        relocation: Record one span per relocated key (localize request →
+            value installed at the new owner), with the blocking window.
+        markers: Record instant markers for cluster membership events and
+            rebalance completions (elastic runs).
+        metrics_interval: Simulated seconds between samples of the per-node
+            :class:`~repro.ps.metrics.PSMetrics` counters (the time-series
+            telemetry).  ``None`` disables sampling.
+        sampled_counters: Scalar ``PSMetrics`` field names to sample.
+        heatmap_interval: Simulated seconds per bucket of the per-key access
+            heatmap.  ``None`` disables the heatmap.
+        max_spans_per_node: Cap on each per-node span list; once a list is
+            full, further spans of that kind are counted in ``dropped``
+            instead of stored (the histograms keep recording — they are
+            bounded by construction).
+    """
+
+    enabled: bool = True
+    ops: bool = True
+    fused: bool = True
+    server: bool = True
+    network: bool = True
+    relocation: bool = True
+    markers: bool = True
+    metrics_interval: Optional[float] = 1e-3
+    sampled_counters: Tuple[str, ...] = DEFAULT_SAMPLED_COUNTERS
+    heatmap_interval: Optional[float] = 1e-3
+    max_spans_per_node: int = 200_000

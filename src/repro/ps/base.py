@@ -170,6 +170,10 @@ class NodeState:
             num_keys=ps.ps_config.num_keys,
             value_length=ps.ps_config.value_length,
         )
+        #: Tracing buffer (:class:`repro.obs.NodeTrace`), installed by the
+        #: tracer when a :class:`~repro.obs.TraceConfig` is passed.  ``None``
+        #: (the default) keeps every hook to one attribute check.
+        self.trace: Optional[Any] = None
         #: Outstanding operations issued from this node, keyed by op id.
         self.outstanding: Dict[int, OperationHandle] = {}
         #: Barrier waiters: generation -> list of events to release.
@@ -277,7 +281,7 @@ class FusedLocalSteps:
     observers and are excluded).
     """
 
-    __slots__ = ("sim", "storage", "latches", "metrics", "access_delay", "clock")
+    __slots__ = ("sim", "storage", "latches", "metrics", "access_delay", "clock", "trace")
 
     def __init__(self, client: "WorkerClient") -> None:
         state = client.state
@@ -287,6 +291,11 @@ class FusedLocalSteps:
         self.metrics = state.metrics
         cost = client.ps.cluster.cost_model
         self.access_delay = cost.local_access_time(shared_memory=True)
+        #: Span recorder of the owning worker (None when tracing is off or
+        #: fused-step tracing is disabled); fused steps are replayed at the
+        #: deferred clock, so their spans carry the exact slow-path times.
+        recorder = client._trace
+        self.trace = recorder if recorder is not None and recorder.fused_on else None
         #: Replayed worker clock: the simulated time this worker would have
         #: reached had every fused step gone through the kernel.  The deltas
         #: are added one at a time, in slow-path order, so the final resume
@@ -314,6 +323,9 @@ class FusedLocalSteps:
         if clock is None:
             clock = self.sim._now
         self.clock = clock + self.access_delay
+        trace = self.trace
+        if trace is not None:
+            trace.fused("pull", key, clock, self.clock)
         return storage.row_copy(key)
 
     def push(self, key: int, update: np.ndarray) -> None:
@@ -328,6 +340,9 @@ class FusedLocalSteps:
         metrics.key_writes_local += 1
         metrics.pushes_local += 1
         self.latches.acquisitions += 1
+        trace = self.trace
+        if trace is not None and self.clock is not None:
+            trace.fused("push", key, self.clock, self.clock)
         self.storage.row_add(key, update)
 
     def advance(self, delta: float) -> None:
@@ -360,6 +375,12 @@ class WorkerClient:
     generators (to be used with ``yield from`` inside simulation processes);
     asynchronous variants return an :class:`OperationHandle` immediately.
     """
+
+    #: Span recorder (:class:`repro.obs.core._OpRecorder`), attached by
+    #: :meth:`ParameterServer.client` when tracing is on.  A class attribute,
+    #: so untraced clients carry no extra instance state (and ship nothing
+    #: extra through the parallel engine's result payloads).
+    _trace: Optional[Any] = None
 
     def __init__(
         self,
@@ -468,6 +489,9 @@ class WorkerClient:
         """Asynchronously pull ``keys``; returns a handle to wait on."""
         keys = self._check_keys(keys)
         handle = OperationHandle(self.sim, "pull", keys, self.value_length)
+        recorder = self._trace
+        if recorder is not None:
+            recorder.issue(handle)
         self.state.register_handle(handle)
         self._issue_pull(handle, keys)
         return handle
@@ -479,6 +503,9 @@ class WorkerClient:
         keys = self._check_keys(keys)
         updates = self._prepare_updates(keys, updates)
         handle = OperationHandle(self.sim, "push", keys, self.value_length)
+        recorder = self._trace
+        if recorder is not None:
+            recorder.issue(handle)
         self.state.register_handle(handle)
         self._issue_push(handle, keys, updates, needs_ack)
         return handle
@@ -487,6 +514,9 @@ class WorkerClient:
         """Asynchronously request local allocation of ``keys`` (Lapse only)."""
         keys = self._check_keys(keys)
         handle = OperationHandle(self.sim, "localize", keys, self.value_length)
+        recorder = self._trace
+        if recorder is not None:
+            recorder.issue(handle)
         self.state.register_handle(handle)
         self._issue_localize(handle, keys)
         return handle
@@ -529,6 +559,9 @@ class WorkerClient:
         if self.state.storage.contains(key):
             self.state.metrics.key_reads_local += 1
             self.state.metrics.pulls_local += 1
+            recorder = self._trace
+            if recorder is not None:
+                recorder.local_read(key, self.sim._now)
             return self.state.read_local(key)
         return None
 
@@ -697,6 +730,10 @@ class ParameterServer:
     #: :class:`~repro.durability.DurabilityConfig` is passed and enabled.
     #: ``None`` -> the stores stay unwrapped and no durability code runs.
     durability: Optional[Any] = None
+    #: Tracer (:class:`repro.obs.Tracer`), installed only when a
+    #: :class:`~repro.obs.TraceConfig` is passed and enabled.  ``None`` ->
+    #: every trace hook is a single attribute-load-and-``None`` check.
+    tracer: Optional[Any] = None
     #: Shard count for the parallel simulation engine
     #: (:mod:`repro.simnet.parallel`).  ``1`` -> sequential engine.  Set via
     #: ``make_parameter_server(..., engine="parallel", jobs=N)`` or directly.
@@ -713,6 +750,7 @@ class ParameterServer:
         partitioner: Optional[KeyPartitioner] = None,
         partitioner_kind: str = "range",
         durability: Optional[Any] = None,
+        trace: Optional[Any] = None,
     ) -> None:
         self.cluster = cluster
         self.ps_config = ps_config or ParameterServerConfig()
@@ -745,6 +783,13 @@ class ParameterServer:
         self._initialize_parameters(initial_values)
         self._start_threads()
         self._clients: Dict[Tuple[int, int], WorkerClient] = {}
+        if trace is not None and trace.enabled:
+            # Observation only (no kernel events, no RNG draws), so traced
+            # runs stay bit-identical to untraced ones.  Imported lazily for
+            # the same reason as the durability manager above.
+            from repro.obs import Tracer
+
+            self.tracer = Tracer(self, trace)
 
     # ------------------------------------------------------------ construction
     def _make_node_state(self, node: Node) -> NodeState:
@@ -823,9 +868,15 @@ class ParameterServer:
         key = (node, local_worker)
         if key not in self._clients:
             worker_id = self.cluster.worker_id(node, local_worker)
-            self._clients[key] = self.client_class(
+            client = self.client_class(
                 self, self.states[node], worker_id, local_worker
             )
+            tracer = self.tracer
+            if tracer is not None:
+                recorder = tracer.recorder(self.states[node], worker_id)
+                if recorder is not None:
+                    client._trace = recorder
+            self._clients[key] = client
         return self._clients[key]
 
     def clients(self) -> List[WorkerClient]:
@@ -1001,6 +1052,10 @@ class ParameterServer:
                 )
             metrics.server_messages += 1
             cost, handler = entry
+            trace = state.trace
+            if trace is not None:
+                now = self.sim._now
+                trace.server_span(type(message).__name__, now, now, now + cost, metrics)
             yield cost
             handler(state, message)
 
@@ -1027,6 +1082,11 @@ class ParameterServer:
         start = now if now > busy else busy
         handle_at = start + cost
         state.server_busy_until = handle_at
+        trace = state.trace
+        if trace is not None:
+            trace.server_span(
+                type(message).__name__, now, start, handle_at, state.metrics
+            )
         sim.call_later(handle_at - now, _run_handler, (handler, state, message))
 
     # --------------------------------------------- shared server-side replies

@@ -674,6 +674,11 @@ class LapsePS(ParameterServer):
             state.metrics.relocations += 1
             state.metrics.relocation_time.record(self.sim.now - entry.requested_at)
             state.metrics.blocking_time.record(self.sim.now - transfer.removed_at)
+            trace = state.trace
+            if trace is not None:
+                trace.relocation(
+                    key, entry.requested_at, transfer.removed_at, self.sim.now
+                )
             if self.ps_config.location_caches:
                 state.location_cache.pop(key, None)
             for handle in entry.localize_handles:

@@ -10,18 +10,52 @@ and traffic volumes implied by the location-management strategies (Table 3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
+
+#: Histogram geometry: log-spaced buckets with ``_HIST_PER_OCTAVE`` sub-buckets
+#: per power of two, anchored at ``_HIST_FLOOR`` (1 ns of simulated time).  160
+#: buckets span 1 ns .. ~1100 s with a worst-case relative error of 2^(1/4)-1
+#: (~19%), which is plenty for latency percentiles; memory is bounded at one
+#: small int list per stat, allocated lazily on the first sample.
+_HIST_FLOOR = 1e-9
+_HIST_PER_OCTAVE = 4
+_HIST_BUCKETS = 160
+_HIST_SCALE = _HIST_PER_OCTAVE / math.log(2.0)
+
+
+def _hist_index(value: float) -> int:
+    """Bucket index for ``value`` (clamped to the histogram range)."""
+    if value <= _HIST_FLOOR:
+        return 0
+    index = int(_HIST_SCALE * math.log(value / _HIST_FLOOR))
+    if index >= _HIST_BUCKETS:
+        return _HIST_BUCKETS - 1
+    return index
+
+
+def _hist_edge(index: int) -> float:
+    """Upper edge of bucket ``index``."""
+    return _HIST_FLOOR * 2.0 ** ((index + 1) / _HIST_PER_OCTAVE)
 
 
 @dataclass
 class RunningStat:
-    """Streaming mean/min/max/count without storing samples."""
+    """Streaming mean/min/max/count plus a bounded log-spaced histogram.
+
+    The histogram keeps a fixed number of log-spaced buckets (HDR-histogram
+    style), so percentile queries (:meth:`percentile`, :attr:`p50`,
+    :attr:`p99`) run in O(buckets) with O(buckets) memory regardless of how
+    many samples were recorded.  Reported percentiles are bucket upper edges
+    clamped to the observed ``[minimum, maximum]`` range.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    buckets: Optional[List[int]] = field(default=None, repr=False)
 
     def record(self, value: float) -> None:
         """Add one sample."""
@@ -31,6 +65,11 @@ class RunningStat:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        buckets = self.buckets
+        if buckets is None:
+            buckets = [0] * _HIST_BUCKETS
+            self.buckets = buckets
+        buckets[_hist_index(value)] += 1
 
     @property
     def mean(self) -> float:
@@ -38,6 +77,32 @@ class RunningStat:
         if self.count == 0:
             return 0.0
         return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``q`` in [0, 1]; 0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        if self.buckets is None:
+            # Legacy stats (e.g. unpickled from an old run) carry no buckets;
+            # the mean is the best available point estimate.
+            return min(max(self.mean, self.minimum), self.maximum)
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                return min(max(_hist_edge(index), self.minimum), self.maximum)
+        return self.maximum
+
+    @property
+    def p50(self) -> float:
+        """Median of the recorded samples (0.0 when empty)."""
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile of the recorded samples (0.0 when empty)."""
+        return self.percentile(0.99)
 
     def merge(self, other: "RunningStat") -> "RunningStat":
         """Return a new stat combining this one with ``other``."""
@@ -47,6 +112,10 @@ class RunningStat:
             minimum=min(self.minimum, other.minimum),
             maximum=max(self.maximum, other.maximum),
         )
+        if self.buckets is not None or other.buckets is not None:
+            mine = self.buckets or [0] * _HIST_BUCKETS
+            theirs = other.buckets or [0] * _HIST_BUCKETS
+            merged.buckets = [a + b for a, b in zip(mine, theirs)]
         return merged
 
 
@@ -218,14 +287,17 @@ class PSMetrics:
 
         Integer counters keep their field names; every :class:`RunningStat`
         field contributes its mean under ``"mean_<field name>"`` (e.g.
-        ``mean_relocation_time``).  Introspective, so new counters appear
-        automatically.
+        ``mean_relocation_time``) plus its histogram percentiles under
+        ``"p50_<field name>"`` / ``"p99_<field name>"``.  Introspective, so
+        new counters appear automatically.
         """
         result: Dict[str, float] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
             if isinstance(value, RunningStat):
                 result[f"mean_{spec.name}"] = value.mean
+                result[f"p50_{spec.name}"] = value.p50
+                result[f"p99_{spec.name}"] = value.p99
             else:
                 result[spec.name] = value
         return result

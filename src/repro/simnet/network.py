@@ -119,6 +119,11 @@ class Network:
     network object is shared by all nodes of a cluster.
     """
 
+    #: Observer (:class:`repro.obs.Tracer`) notified of every scheduled
+    #: delivery, installed when tracing is on.  A class attribute so the
+    #: untraced hot path pays one attribute check and no instance state.
+    _tracer: Optional[Any] = None
+
     def __init__(self, sim: "Simulator", cost_model: Optional[CostModel] = None) -> None:
         self.sim = sim
         self.cost_model = cost_model or CostModel()
@@ -319,6 +324,12 @@ class Network:
         last = channel_clock.last
         deliver_at = earliest if earliest > last else last
         channel_clock.last = deliver_at
+        tracer = self._tracer
+        if tracer is not None:
+            # Observation only: the delivery instant is already fixed; the
+            # tracer appends a span to the sending node's buffer and nothing
+            # about scheduling, coalescing, or sharding changes.
+            tracer.net_span(src_node, dst_node, payload, now, deliver_at, size_bytes)
         if self._shard_ranks is not None and self._shard_ranks[dst_node] != self._shard_rank:
             # Cross-shard delivery: hand the record to the window-exchange
             # protocol instead of the local kernel.  Always remote (shards

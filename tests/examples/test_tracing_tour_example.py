@@ -1,0 +1,37 @@
+"""Smoke test for the tracing-tour example.
+
+``examples/tracing_tour.py`` is a demo script, not part of the library, so
+nothing else in the suite would notice if an obs-API change broke it.  This
+test runs it end-to-end on a tiny workload and asserts that it completes,
+confirms bit-identity, and writes a schema-valid trace.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.obs import load_trace, validate_trace
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLES = os.path.join(ROOT, "examples")
+
+
+@pytest.fixture()
+def tracing_tour():
+    if EXAMPLES not in sys.path:
+        sys.path.insert(0, EXAMPLES)
+    import tracing_tour
+
+    return tracing_tour
+
+
+def test_tracing_tour_smoke(tracing_tour, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    exit_code = tracing_tour.main(["--smoke", "--out", str(out)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "bit-identical" in output
+    assert "latency histograms" in output
+    assert "cluster markers" in output
+    validate_trace(load_trace(str(out)))

@@ -1,0 +1,146 @@
+"""Bit-identity sweep: traced runs vs untraced runs.
+
+The tracing subsystem (``repro.obs``) claims to be *pure observation*: the
+hooks read already-computed simulated times and append to Python lists, but
+schedule no kernel events, send no messages, and draw from no RNG.  This
+sweep runs every system with tracing enabled and requires exact equality of
+simulated epoch durations (full float precision), message and byte counts,
+training losses, the aggregated PS metric counters, and (spot-checked) the
+final model parameters.
+
+It also covers composition with the parallel shard engine: a ``jobs=2``
+traced run must merge the shard-recorded span buffers into the same trace a
+sequential traced run produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    KGEScale,
+    MFScale,
+    W2VScale,
+    make_parameter_server,
+    run_kge_experiment,
+    run_mf_experiment,
+    run_w2v_experiment,
+)
+from repro.obs import TraceConfig
+
+#: Every PS variant of the runner that supports all three workloads.
+SYSTEMS = (
+    "classic",
+    "classic_fast_local",
+    "lapse",
+    "stale_ssp",
+    "stale_ssppush",
+    "replica",
+    "hybrid",
+)
+
+MF = MFScale(num_rows=32, num_cols=16, num_entries=300, rank=4)
+KGE = KGEScale(num_entities=40, num_relations=4, num_triples=60, entity_dim=2)
+W2V = W2VScale(vocabulary_size=50, num_sentences=8)
+
+NODES = dict(num_nodes=4, workers_per_node=2, epochs=2, seed=3)
+
+
+def _fingerprint(result):
+    return (
+        tuple(repr(epoch.duration) for epoch in result.epochs),
+        tuple(repr(epoch.loss) for epoch in result.epochs),
+        result.remote_messages,
+        result.bytes_sent,
+        result.metrics.as_dict() if result.metrics else None,
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_mf_traced_identical(system):
+    plain = run_mf_experiment(system, scale=MF, compute_loss=True, **NODES)
+    traced = run_mf_experiment(
+        system, scale=MF, compute_loss=True, trace=TraceConfig(), **NODES
+    )
+    assert plain.tracer is None
+    assert traced.tracer is not None
+    assert traced.tracer.span_count() > 0
+    assert _fingerprint(plain) == _fingerprint(traced)
+
+
+@pytest.mark.parametrize("system", ("classic", "lapse"))
+def test_kge_traced_identical(system):
+    plain = run_kge_experiment(system, scale=KGE, compute_loss=True, **NODES)
+    traced = run_kge_experiment(
+        system, scale=KGE, compute_loss=True, trace=TraceConfig(), **NODES
+    )
+    assert _fingerprint(plain) == _fingerprint(traced)
+
+
+@pytest.mark.parametrize("system", ("lapse",))
+def test_w2v_traced_identical(system):
+    plain = run_w2v_experiment(system, scale=W2V, compute_error=True, **NODES)
+    traced = run_w2v_experiment(
+        system, scale=W2V, compute_error=True, trace=TraceConfig(), **NODES
+    )
+    assert _fingerprint(plain) == _fingerprint(traced)
+
+
+def test_disabled_config_is_untraced():
+    """``TraceConfig(enabled=False)`` installs nothing (the off switch)."""
+    result = run_mf_experiment(
+        "lapse", scale=MF, trace=TraceConfig(enabled=False), **NODES
+    )
+    assert result.tracer is None
+
+
+def _train_mf(system, trace):
+    from repro.config import ClusterConfig, ParameterServerConfig
+    from repro.data import generate_matrix
+    from repro.ml import MatrixFactorizationConfig, MatrixFactorizationTrainer
+
+    cluster = ClusterConfig(num_nodes=4, workers_per_node=2)
+    matrix = generate_matrix(num_rows=32, num_cols=16, num_entries=300, seed=3)
+    ps = make_parameter_server(
+        system,
+        cluster,
+        ParameterServerConfig(num_keys=matrix.num_cols, value_length=4),
+        trace=trace,
+    )
+    trainer = MatrixFactorizationTrainer(
+        ps, matrix, MatrixFactorizationConfig(rank=4), seed=3
+    )
+    trainer.train(num_epochs=2, compute_loss=False)
+    return trainer.column_factors(), trainer.row_factors
+
+
+@pytest.mark.parametrize("system", ("lapse", "hybrid"))
+def test_mf_model_parameters_bit_identical(system):
+    """Final model parameters match exactly, not just aggregate counters."""
+    plain_cols, plain_rows = _train_mf(system, trace=None)
+    traced_cols, traced_rows = _train_mf(system, trace=TraceConfig())
+    assert np.array_equal(plain_cols, traced_cols)
+    assert np.array_equal(plain_rows, traced_rows)
+
+
+def test_jobs2_traced_identical_and_merged():
+    """Tracing composes with the parallel engine: same results, same spans."""
+    seq = run_mf_experiment(
+        "lapse", scale=MF, compute_loss=True, trace=TraceConfig(), **NODES
+    )
+    par = run_mf_experiment(
+        "lapse", scale=MF, compute_loss=True, trace=TraceConfig(), jobs=2, **NODES
+    )
+    assert par.jobs == 2
+    assert _fingerprint(seq) == _fingerprint(par)
+    # The shard processes recorded the spans; the merged driver-side buffers
+    # must contain exactly what the sequential run recorded.
+    assert par.tracer.span_count() == seq.tracer.span_count()
+    seq_traces = {t.node: t for t in seq.tracer.node_traces()}
+    par_traces = {t.node: t for t in par.tracer.node_traces()}
+    assert set(seq_traces) == set(par_traces) == set(range(4))
+    for node, seq_trace in seq_traces.items():
+        par_trace = par_traces[node]
+        assert sorted(seq_trace.ops) == sorted(par_trace.ops)
+        assert sorted(seq_trace.server) == sorted(par_trace.server)
+        assert sorted(seq_trace.net) == sorted(par_trace.net)
+        assert sorted(seq_trace.reloc) == sorted(par_trace.reloc)

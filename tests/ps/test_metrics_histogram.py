@@ -1,0 +1,96 @@
+"""RunningStat streaming histogram: percentiles, merging, reporting keys.
+
+The histogram is bounded (fixed log-spaced buckets), so percentile queries
+are approximations with a known worst-case relative error of one sub-bucket
+(~19%); the tests assert within that tolerance, plus the exact structural
+guarantees (clamping to observed min/max, lazy allocation, merge algebra,
+and the ``p50_*`` / ``p99_*`` keys surfaced through ``PSMetrics.as_dict``
+and ``experiments.reporting``).
+"""
+
+import pytest
+
+from repro.experiments.reporting import LATENCY_COUNTERS
+from repro.ps.metrics import PSMetrics, RunningStat
+
+#: Worst-case relative error of a percentile query: one 2**(1/4) sub-bucket.
+RELATIVE_ERROR = 2 ** 0.25 - 1.0
+
+
+def test_empty_stat_percentiles_are_zero():
+    stat = RunningStat()
+    assert stat.p50 == 0.0
+    assert stat.p99 == 0.0
+    assert stat.buckets is None  # lazily allocated
+
+
+def test_single_value():
+    stat = RunningStat()
+    stat.record(0.5)
+    # Clamped to the observed extrema, so a single sample is exact.
+    assert stat.p50 == 0.5
+    assert stat.p99 == 0.5
+
+
+def test_percentiles_of_uniform_range():
+    stat = RunningStat()
+    values = [i * 1e-3 for i in range(1, 1001)]  # 1ms .. 1s
+    for value in values:
+        stat.record(value)
+    assert stat.p50 == pytest.approx(0.5, rel=RELATIVE_ERROR)
+    assert stat.p99 == pytest.approx(0.99, rel=RELATIVE_ERROR)
+    assert stat.percentile(0.90) == pytest.approx(0.9, rel=RELATIVE_ERROR)
+    # Percentiles never escape the observed range.
+    assert stat.minimum <= stat.p50 <= stat.maximum
+
+
+def test_extreme_values_clamp():
+    stat = RunningStat()
+    stat.record(0.0)  # below the histogram floor
+    stat.record(1e9)  # beyond the top bucket
+    assert stat.count == 2
+    assert stat.percentile(0.0) >= stat.minimum
+    assert stat.percentile(1.0) <= stat.maximum
+
+
+def test_merge_combines_distributions():
+    left, right = RunningStat(), RunningStat()
+    for i in range(1, 501):
+        left.record(i * 1e-3)
+    for i in range(501, 1001):
+        right.record(i * 1e-3)
+    merged = left.merge(right)
+    assert merged.count == 1000
+    assert merged.p50 == pytest.approx(0.5, rel=RELATIVE_ERROR)
+    # Merging with a legacy (bucket-less) stat keeps the bucket data.
+    legacy = RunningStat(count=1, total=2.0, minimum=2.0, maximum=2.0)
+    assert legacy.buckets is None
+    both = merged.merge(legacy)
+    assert both.count == 1001
+    assert both.buckets is not None
+
+
+def test_legacy_stat_without_buckets_falls_back_to_mean():
+    legacy = RunningStat(count=4, total=2.0, minimum=0.1, maximum=1.0)
+    assert legacy.p50 == pytest.approx(0.5)  # the mean, clamped to range
+
+
+def test_ps_metrics_as_dict_has_percentile_keys():
+    metrics = PSMetrics()
+    metrics.relocation_time.record(1e-3)
+    metrics.relocation_time.record(2e-3)
+    flat = metrics.as_dict()
+    assert "mean_relocation_time" in flat
+    assert "p50_relocation_time" in flat
+    assert "p99_relocation_time" in flat
+    assert flat["p50_relocation_time"] >= flat["mean_relocation_time"] * 0.5
+    # Every RunningStat field gets all three prefixes, introspectively.
+    for name in ("relocation_time", "blocking_time", "rebalance_time"):
+        for prefix in ("mean", "p50", "p99"):
+            assert f"{prefix}_{name}" in flat
+
+
+def test_latency_counters_resolve_in_as_dict():
+    flat = PSMetrics().as_dict()
+    for counter in LATENCY_COUNTERS:
+        assert counter in flat
