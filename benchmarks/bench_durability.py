@@ -72,12 +72,16 @@ TABLE_COLUMNS = (
 )
 
 
-def run_lifecycle(scale, seed):
+def run_lifecycle(scale, seed, jobs=1):
+    # Durable runs shard since the phase-2 parallel engine: per-shard WAL
+    # segments are stitched into the cluster LSN order at each epoch merge,
+    # so jobs > 1 produces the same rows (including the crash recovery).
     return durability_recovery_scenario(
         systems=DURABILITY_RECOVERY_SYSTEMS,
         scale=scale,
         seed=seed,
         workers_per_node=WORKERS_PER_NODE,
+        jobs=jobs,
     )
 
 
@@ -107,10 +111,10 @@ def assert_shape(rows):
     assert classic["params_match_reference"]
 
 
-def assert_determinism(scale, seed):
+def assert_determinism(scale, seed, jobs=1):
     """Same seed => bit-identical crash-and-recovery run."""
-    first = run_lifecycle(scale, seed)
-    second = run_lifecycle(scale, seed)
+    first = run_lifecycle(scale, seed, jobs=jobs)
+    second = run_lifecycle(scale, seed, jobs=jobs)
     for row_a, row_b in zip(first, second):
         assert row_a == row_b, (
             f"durable run of {row_a['system']!r} is not deterministic: "
@@ -125,7 +129,7 @@ def main(argv=None):
     scale = SMOKE_SCALE if args.smoke else FULL_SCALE
 
     print("crash-and-recovery lifecycle (determinism-checked) ...", flush=True)
-    rows = assert_determinism(scale, args.seed)
+    rows = assert_determinism(scale, args.seed, jobs=args.jobs)
     print()
     print(
         format_table(
@@ -150,10 +154,11 @@ def main(argv=None):
     )
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
         "seed": args.seed,
+        "jobs": args.jobs,
         "workers_per_node": WORKERS_PER_NODE,
         "determinism": "ok",
         "rows": rows,

@@ -32,13 +32,17 @@ Usage::
 """
 
 import json
+import multiprocessing
 import os
 import platform
 import sys
+import time
 
 from benchmark_utils import REPO_ROOT, WORKERS_PER_NODE, make_arg_parser
 
+from repro.cluster import ClusterSchedule
 from repro.experiments import MFScale, format_table
+from repro.experiments.runner import make_elastic_mf
 from repro.experiments.scenarios import ELASTIC_SCALING_SYSTEMS, elastic_scaling_scenario
 
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_ELASTICITY.json")
@@ -71,9 +75,9 @@ TABLE_COLUMNS = (
 
 
 def run_lifecycle(scale, seed, jobs=1):
-    # Elastic lifecycles are ineligible for the parallel engine (mid-run
-    # membership changes), so jobs > 1 exercises the documented fallback:
-    # the run warns once per server and produces the same results as jobs=1.
+    # Elastic lifecycles shard since the phase-2 engine (membership events
+    # become window barriers), so jobs > 1 runs the join/drain phases on the
+    # parallel engine; only the injected-failure epoch stays sequential.
     return elastic_scaling_scenario(
         systems=ELASTIC_SCALING_SYSTEMS,
         scale=scale,
@@ -119,8 +123,144 @@ def assert_determinism(scale, seed, jobs=1):
     return first
 
 
+# ----------------------------------------------------------------- jobs sweep
+#: Shard counts swept by ``--jobs-sweep``.
+SWEEP_JOBS = (1, 2, 4)
+#: Wall-clock speedup floor asserted for 1 -> 4 shards.
+SWEEP_SPEEDUP_FLOOR = 2.0
+#: Host cores needed before the speedup assertion is meaningful.
+SWEEP_MIN_CORES = 4
+#: Dense elastic workload for the sweep: event processing must dominate the
+#: window-synchronization barriers for shards to pay off.
+SWEEP_SCALE_SMOKE = MFScale(num_rows=256, num_cols=64, num_entries=6000, rank=8)
+SWEEP_SCALE_FULL = MFScale(num_rows=256, num_cols=64, num_entries=20000, rank=8)
+
+
+def _sweep_run(scale, seed, jobs, epochs=2):
+    """One elastic run for the sweep: node 7 joins mid-epoch on an otherwise
+    full 8-node cluster, so every shard carries real load *and* the engine
+    crosses a membership barrier."""
+    schedule = ClusterSchedule().join(0.001, node=7)
+    elastic, trainer = make_elastic_mf(
+        "lapse",
+        num_nodes=8,
+        initial_nodes=tuple(range(7)),
+        schedule=schedule,
+        scale=scale,
+        workers_per_node=WORKERS_PER_NODE,
+        seed=seed,
+        jobs=jobs,
+    )
+    start = time.perf_counter()
+    durations = [
+        elastic.run_epoch(trainer, compute_loss=False).duration
+        for _ in range(epochs)
+    ]
+    wall = time.perf_counter() - start
+    ps = elastic.ps
+    history = ps.shard_load_history or []
+    return {
+        "jobs": jobs,
+        "effective_jobs": ps._last_effective_jobs,
+        "parallel_fallback_reason": ps._last_fallback_reason,
+        "wall_s": wall,
+        "sim_epochs_s": durations,
+        "remote_messages": ps.network.stats.remote_messages,
+        "bytes_sent": ps.network.stats.bytes_sent,
+        "shard_skew": [h["skew"] for h in history],
+        "shard_replans": sum(1 for h in history if h["replanned"]),
+    }
+
+
+def _skew_run(scale, seed, epochs=3):
+    """Persistently skewed workload at jobs=4: only 4 of 8 nodes are ever
+    active, so the contiguous plan leaves two shards nearly idle (executed-
+    event skew ~2x) until the adaptive rebalance spreads the active nodes
+    one per shard."""
+    elastic, trainer = make_elastic_mf(
+        "lapse",
+        num_nodes=8,
+        initial_nodes=tuple(range(4)),
+        scale=scale,
+        workers_per_node=WORKERS_PER_NODE,
+        seed=seed,
+        jobs=4,
+    )
+    for _ in range(epochs):
+        elastic.run_epoch(trainer, compute_loss=False)
+    history = elastic.ps.shard_load_history or []
+    return {
+        "jobs": 4,
+        "workload": "skewed",
+        "effective_jobs": elastic.ps._last_effective_jobs,
+        "shard_skew": [h["skew"] for h in history],
+        "shard_replans": sum(1 for h in history if h["replanned"]),
+    }
+
+
+def run_jobs_sweep(smoke, seed):
+    """Wall-clock scaling + adaptive-rebalance behaviour across SWEEP_JOBS.
+
+    Returns ``(rows, skipped_reason)``.  The identity of simulated results
+    across shard counts is always asserted; the >= 2x 1 -> 4 speedup floor
+    and the skew-narrowing check only run on hosts with enough cores and
+    fork support (shards cannot beat the sequential kernel without real
+    parallelism).
+    """
+    cores = os.cpu_count() or 1
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return [], f"fork start method unavailable (host has {cores} cores)"
+    scale = SWEEP_SCALE_SMOKE if smoke else SWEEP_SCALE_FULL
+    rows = [_sweep_run(scale, seed, jobs) for jobs in SWEEP_JOBS]
+    for row in rows[1:]:
+        assert row["sim_epochs_s"] == rows[0]["sim_epochs_s"], (
+            f"jobs={row['jobs']} simulated epochs diverged from jobs=1"
+        )
+        assert row["remote_messages"] == rows[0]["remote_messages"]
+        assert row["bytes_sent"] == rows[0]["bytes_sent"]
+        assert row["parallel_fallback_reason"] is None, row
+        assert row["effective_jobs"] == row["jobs"], row
+    for row in rows:
+        print(
+            f"  jobs={row['jobs']}: wall {row['wall_s']:6.3f}s, "
+            f"skew {['%.2f' % s for s in row['shard_skew']]}, "
+            f"{row['shard_replans']} replans"
+        )
+    # Skew narrowing is a correctness property of the adaptive rebalance, not
+    # a wall-clock one, so it is checked even on single-core hosts.
+    skew_row = _skew_run(scale, seed)
+    rows.append(skew_row)
+    print(
+        f"  skewed workload: skew {['%.2f' % s for s in skew_row['shard_skew']]}, "
+        f"{skew_row['shard_replans']} replans"
+    )
+    assert skew_row["shard_replans"] >= 1, skew_row
+    assert skew_row["shard_skew"][-1] < skew_row["shard_skew"][0], (
+        f"adaptive rebalance did not narrow the per-shard event skew: "
+        f"{skew_row['shard_skew']}"
+    )
+    if cores < SWEEP_MIN_CORES:
+        return rows, f"speedup floor needs >= {SWEEP_MIN_CORES} cores, host has {cores}"
+    speedup = rows[0]["wall_s"] / rows[2]["wall_s"]
+    print(f"  speedup 1 -> {SWEEP_JOBS[-1]} shards: {speedup:.2f}x")
+    assert speedup >= SWEEP_SPEEDUP_FLOOR, (
+        f"elastic jobs sweep speedup 1->{SWEEP_JOBS[-1]} shards is "
+        f"{speedup:.2f}x, below the {SWEEP_SPEEDUP_FLOOR}x floor"
+    )
+    return rows, None
+
+
 def main(argv=None):
     parser = make_arg_parser(__doc__.splitlines()[0], default_out=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--jobs-sweep",
+        action="store_true",
+        help="additionally sweep the parallel engine across jobs in "
+        f"{SWEEP_JOBS}: assert bit-identical results, a >= "
+        f"{SWEEP_SPEEDUP_FLOOR}x wall-clock speedup 1 -> {SWEEP_JOBS[-1]} "
+        "shards (skipped below "
+        f"{SWEEP_MIN_CORES} cores), and adaptive skew narrowing",
+    )
     args = parser.parse_args(argv)
     scale = SMOKE_SCALE if args.smoke else FULL_SCALE
 
@@ -150,7 +290,7 @@ def main(argv=None):
     )
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
         "seed": args.seed,
@@ -159,6 +299,13 @@ def main(argv=None):
         "determinism": "ok",
         "rows": rows,
     }
+    if args.jobs_sweep:
+        print()
+        print("parallel-engine jobs sweep (identity-checked) ...", flush=True)
+        sweep_rows, skipped = run_jobs_sweep(args.smoke, args.seed)
+        report["jobs_sweep"] = {"rows": sweep_rows, "skipped": skipped}
+        if skipped:
+            print(f"  speedup/skew assertions skipped: {skipped}")
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -153,6 +153,8 @@ class DeltaWAL:
         "records",
         "after_append",
         "_last_lsn",
+        "shard_keys",
+        "_order_key_hook",
     )
 
     def __init__(self, node: int = 0, clock: Optional[LSNClock] = None, metrics=None):
@@ -162,6 +164,24 @@ class DeltaWAL:
         self.records: List[WALRecord] = []
         self.after_append: Optional[Callable[[], None]] = None
         self._last_lsn = 0
+        #: Parallel-engine capture (``enable_shard_capture``): one global
+        #: order key per post-fork append, parallel to ``records``.
+        self.shard_keys: Optional[List[Tuple]] = None
+        self._order_key_hook: Optional[Callable[[], Tuple]] = None
+
+    def enable_shard_capture(self, order_key_hook: Callable[[], Tuple]) -> None:
+        """Capture a global order key alongside every append (shard mode).
+
+        Inside a forked shard the LSN clock advances independently, so LSNs
+        drawn during the window are *provisional* (shard-relative).  The
+        captured keys — :meth:`Simulator.wal_order_key` tuples
+        ``(time, executing-event lineage, local seq)`` — totally order
+        appends across shards exactly as the sequential engine would have
+        interleaved them, letting the coordinator stitch all shards' records
+        into the cluster order and rewrite provisional LSNs at window merge.
+        """
+        self._order_key_hook = order_key_hook
+        self.shard_keys = []
 
     @property
     def last_lsn(self) -> int:
@@ -181,6 +201,8 @@ class DeltaWAL:
             lsn=self.clock.next(), kind=kind, keys=tuple(keys), values=values
         )
         self.records.append(record)
+        if self._order_key_hook is not None:
+            self.shard_keys.append(self._order_key_hook())
         self._last_lsn = record.lsn
         if self.metrics is not None:
             self.metrics.wal_appends += 1

@@ -127,9 +127,13 @@ def make_parameter_server(
     the sequential kernel, ``"parallel"`` shards the nodes across ``jobs``
     forked processes with conservative time-window sync
     (:mod:`repro.simnet.parallel`) — bit-identical results, multicore
-    wall-clock.  Workloads the window protocol cannot shard (elastic
-    membership changes, durability, single-node clusters) fall back to
-    ``jobs=1`` at run time with a warning.
+    wall-clock.  Elastic membership changes and durable (WAL/checkpoint)
+    runs shard too: membership events become window barriers and per-shard
+    WAL segments are stitched into the cluster total order at epoch merge.
+    The few workloads the window protocol cannot shard (scheduled node
+    failures, WAL truncation, single-node clusters, zero-latency cost
+    models) fall back to ``jobs=1`` at run time with a once-per-reason
+    warning; the reason is recorded on the run result.
     """
     if engine not in ("sim", "parallel"):
         raise ExperimentError(f"unknown engine {engine!r}; choose 'sim' or 'parallel'")
@@ -229,6 +233,11 @@ class TaskRunResult:
     backend: str = "sim"
     #: Shard count of the parallel simulation engine (1 = sequential kernel).
     jobs: int = 1
+    #: Why the parallel engine refused to shard the run (``None`` when it ran
+    #: sharded or when ``jobs=1`` was requested in the first place).
+    parallel_fallback_reason: Optional[str] = None
+    #: Shard count the last epoch actually used (1 after a fallback).
+    effective_jobs: int = 1
     #: The run's :class:`~repro.obs.Tracer` when tracing was enabled (call
     #: ``result.tracer.export(path)`` / ``.summary()``); ``None`` otherwise.
     tracer: Optional[Any] = field(default=None, compare=False, repr=False)
@@ -386,6 +395,8 @@ def run_mf_experiment(
             bytes_sent=ps.network.stats.bytes_sent,
             backend=backend,
             jobs=jobs,
+            parallel_fallback_reason=getattr(ps, "_last_fallback_reason", None),
+            effective_jobs=getattr(ps, "_last_effective_jobs", 1),
             tracer=ps.tracer,
         )
     finally:
@@ -446,6 +457,8 @@ def run_kge_experiment(
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
         jobs=jobs,
+        parallel_fallback_reason=ps._last_fallback_reason,
+        effective_jobs=ps._last_effective_jobs,
         tracer=ps.tracer,
     )
 
@@ -551,6 +564,8 @@ def run_elastic_mf_experiment(
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
         jobs=jobs,
+        parallel_fallback_reason=ps._last_fallback_reason,
+        effective_jobs=ps._last_effective_jobs,
         tracer=ps.tracer,
     )
 
@@ -608,5 +623,7 @@ def run_w2v_experiment(
         remote_messages=ps.network.stats.remote_messages,
         bytes_sent=ps.network.stats.bytes_sent,
         jobs=jobs,
+        parallel_fallback_reason=ps._last_fallback_reason,
+        effective_jobs=ps._last_effective_jobs,
         tracer=ps.tracer,
     )

@@ -300,6 +300,15 @@ def _elastic_lifecycle_row(
         "dropped_messages": ps.network.stats.dropped_messages,
         "drain_node_state": elastic.membership.state_of(drain_node),
         "sim_time_s": ps.simulated_time,
+        # Parallel-engine bookkeeping for the *last* epoch of the lifecycle:
+        # the injected failure (if any) forces that epoch sequential, so with
+        # jobs>1 and inject_failure these report the documented fallback.
+        "parallel_fallback_reason": ps._last_fallback_reason,
+        "effective_jobs": ps._last_effective_jobs,
+        "shard_skew": [h["skew"] for h in (ps.shard_load_history or [])],
+        "shard_replans": sum(
+            1 for h in (ps.shard_load_history or []) if h["replanned"]
+        ),
     }
 
 
@@ -318,6 +327,7 @@ def durability_recovery_scenario(
     capacity: int = 3,
     fail_node: int = 2,
     durability: Optional[Any] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Crash-and-restart under durability, per system, on the MF workload.
 
@@ -344,6 +354,7 @@ def durability_recovery_scenario(
             capacity=capacity,
             fail_node=fail_node,
             durability=durability,
+            jobs=jobs,
         )
         for system in systems
     ]
@@ -357,6 +368,7 @@ def _durability_recovery_row(
     capacity: int,
     fail_node: int,
     durability: Optional[Any],
+    jobs: int,
 ) -> Dict[str, object]:
     config = durability if durability is not None else DurabilityConfig()
 
@@ -380,6 +392,7 @@ def _durability_recovery_row(
         workers_per_node=workers_per_node,
         seed=seed,
         durability=config,
+        jobs=jobs,
     )
     ps = elastic.ps
 
@@ -414,6 +427,8 @@ def _durability_recovery_row(
         "fail_node_state": elastic.membership.state_of(fail_node),
         "dropped_messages": ps.network.stats.dropped_messages,
         "sim_time_s": ps.simulated_time,
+        "parallel_fallback_reason": ps._last_fallback_reason,
+        "effective_jobs": ps._last_effective_jobs,
     }
 
 

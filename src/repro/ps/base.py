@@ -738,9 +738,16 @@ class ParameterServer:
     #: (:mod:`repro.simnet.parallel`).  ``1`` -> sequential engine.  Set via
     #: ``make_parameter_server(..., engine="parallel", jobs=N)`` or directly.
     jobs: int = 1
-    #: Whether the parallel-engine fallback warning has been emitted already
-    #: (one warning per server, not one per epoch).
-    _parallel_fallback_warned: bool = False
+    #: Outcome of the most recent :meth:`run_workers` engine selection: the
+    #: fallback reason (``None`` when the parallel engine ran, or no parallel
+    #: run was requested) and the effective shard count that executed.
+    _last_fallback_reason: Optional[str] = None
+    _last_effective_jobs: int = 1
+    #: Adaptive shard-rebalancing state (:mod:`repro.simnet.parallel`): the
+    #: plan the next parallel epoch forks from, and the per-epoch record of
+    #: executed-event counts / skew / replans.
+    _adaptive_shard_plan: Optional[Any] = None
+    shard_load_history: Optional[List[dict]] = None
 
     def __init__(
         self,
@@ -909,6 +916,8 @@ class ParameterServer:
         if clients is None:
             clients = self.clients()
         jobs = max(self.jobs, self.sim.jobs)
+        self._last_fallback_reason = None
+        self._last_effective_jobs = 1
         if jobs > 1:
             from repro.simnet.parallel import (
                 parallel_fallback_reason,
@@ -918,10 +927,14 @@ class ParameterServer:
 
             reason = parallel_fallback_reason(self, until)
             if reason is None:
+                self._last_effective_jobs = min(jobs, self.cluster.num_nodes)
                 return run_workers_parallel(self, worker_fn, clients, jobs)
-            if not self._parallel_fallback_warned:
-                self._parallel_fallback_warned = True
-                warn_parallel_fallback(reason)
+            self._last_fallback_reason = reason
+            warn_parallel_fallback(reason)
+            if self.tracer is not None:
+                self.tracer.marker(
+                    0, self.sim.now, "parallel:fallback", reason=reason, jobs=jobs
+                )
         processes = []
         for client in clients:
             generator = worker_fn(client, client.worker_id)

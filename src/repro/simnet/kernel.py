@@ -58,6 +58,7 @@ scheduled locally.
 from __future__ import annotations
 
 import heapq
+import math
 import os
 from collections import deque
 from typing import Any, Callable, Generator, List, Optional, Tuple
@@ -81,6 +82,14 @@ _LINEAGE_KEEP = 24
 #: grow to twice the kept depth makes the rebuild cost O(1) amortized per
 #: scheduled event.
 _LINEAGE_REBUILD = 48
+
+#: Parent context of lineages allocated during a replicated barrier apply
+#: (``begin_apply``).  Real parent lineages start with a finite scheduling
+#: time, so ``(inf,)`` sorts *after* every same-instant window lineage —
+#: barrier-apply actions come after everything the shards processed up to
+#: the barrier, exactly as the sequential engine's (newer) sequence numbers
+#: would order them.
+_APPLY_CTX: Tuple = (float("inf"),)
 
 
 def _trim_lineage(lineage: Tuple) -> Tuple:
@@ -165,6 +174,19 @@ class Simulator:
         self._shard_rank: Optional[int] = None
         #: Lineage of the event currently being processed (shard mode).
         self._shard_ctx: Tuple = ()
+        #: Whether a replicated barrier apply is executing (shard mode): all
+        #: shards run the same control-plane code against identical merged
+        #: state, so scheduling draws must come from the replicated
+        #: ``_apply_seq`` counter instead of the shard-local ``_sequence``.
+        self._apply_mode = False
+        #: Replicated scheduling counter for barrier applies (identical on
+        #: every shard by construction).
+        self._apply_seq = 0
+        #: Shard-local WAL ordering counter (see :meth:`wal_order_key`).
+        self._wal_seq = 0
+        #: Events dispatched by :meth:`run_window` since the fork — the
+        #: shard-load signal for adaptive shard rebalancing.
+        self.executed_events = 0
 
     # ------------------------------------------------------------------ sharding
     def enter_shard_mode(self, rank: int) -> None:
@@ -204,6 +226,48 @@ class Simulator:
         ctx = self._shard_ctx
         depth = ctx[4] + 1 if ctx else 0
         return (self._now, ctx, self._shard_rank, self._sequence, depth)
+
+    def begin_apply(self) -> None:
+        """Enter replicated-apply mode (barrier control-plane execution).
+
+        Between :meth:`begin_apply` and :meth:`end_apply` every scheduling
+        action (event triggers, bare callbacks, wake-ups, lineage draws)
+        allocates its key from the replicated ``_apply_seq`` counter under
+        the ``(inf,)`` parent context and leaves the shard-local sequence
+        untouched: all shards execute the identical apply code against
+        identical merged state, so the streams stay in lockstep and the
+        resulting keys are bit-identical across shards.
+        """
+        if self._shard_rank is None:
+            raise SimulationError("begin_apply requires shard mode")
+        self._apply_mode = True
+
+    def end_apply(self) -> None:
+        """Leave replicated-apply mode."""
+        self._apply_mode = False
+
+    def apply_lineage(self) -> Tuple:
+        """Allocate a lineage key from the replicated apply stream."""
+        self._apply_seq += 1
+        return (self._now, _APPLY_CTX, -2, self._apply_seq, 0)
+
+    def wal_order_key(self) -> Tuple:
+        """Total-order key for a WAL append issued on this shard.
+
+        The two-level LSN order of the parallel engine: shard-local WAL
+        appends are keyed ``(time, processing lineage, local seq)`` —
+        comparable across shards because lineages are (that is the window
+        protocol's core invariant) — and barrier-apply appends are keyed
+        under the replicated apply stream.  Sorting all shards' post-fork
+        appends by this key reproduces the sequential engine's global LSN
+        assignment order, which is what lets the parent stitch shard-relative
+        LSNs back into one cluster total order at epoch merge.
+        """
+        if self._apply_mode:
+            self._apply_seq += 1
+            return (self._now, _APPLY_CTX, self._apply_seq)
+        self._wal_seq += 1
+        return (self._now, self._shard_ctx, self._wal_seq)
 
     def schedule_foreign(
         self,
@@ -285,18 +349,24 @@ class Simulator:
             raise SimulationError(f"cannot schedule an event {delay}s in the past")
         now = self._now
         time = now + delay
-        self._sequence += 1
         if self._shard_rank is not None:
-            ctx = self._shard_ctx
-            lineage = (
-                now, ctx, self._shard_rank, self._sequence,
-                ctx[4] + 1 if ctx else 0,
-            )
+            if self._apply_mode:
+                self._apply_seq += 1
+                lineage = (now, _APPLY_CTX, -2, self._apply_seq, 0)
+            else:
+                self._sequence += 1
+                ctx = self._shard_ctx
+                lineage = (
+                    now, ctx, self._shard_rank, self._sequence,
+                    ctx[4] + 1 if ctx else 0,
+                )
             if time == now and self.fastpath:
                 self._ring.append((event, lineage))
             else:
                 heapq.heappush(self._queue, (time, lineage, event))
-        elif time == now and self.fastpath:
+            return
+        self._sequence += 1
+        if time == now and self.fastpath:
             self._ring.append(event)
         else:
             heapq.heappush(self._queue, (time, self._sequence, event))
@@ -312,18 +382,24 @@ class Simulator:
             raise SimulationError(f"cannot schedule an event {delay}s in the past")
         now = self._now
         time = now + delay
-        self._sequence += 1
         if self._shard_rank is not None:
-            ctx = self._shard_ctx
-            lineage = (
-                now, ctx, self._shard_rank, self._sequence,
-                ctx[4] + 1 if ctx else 0,
-            )
+            if self._apply_mode:
+                self._apply_seq += 1
+                lineage = (now, _APPLY_CTX, -2, self._apply_seq, 0)
+            else:
+                self._sequence += 1
+                ctx = self._shard_ctx
+                lineage = (
+                    now, ctx, self._shard_rank, self._sequence,
+                    ctx[4] + 1 if ctx else 0,
+                )
             if time == now and self.fastpath:
                 self._ring.append((_Call(fn, arg), lineage))
             else:
                 heapq.heappush(self._queue, (time, lineage, _Call(fn, arg)))
-        elif time == now and self.fastpath:
+            return
+        self._sequence += 1
+        if time == now and self.fastpath:
             self._ring.append(_Call(fn, arg))
         else:
             heapq.heappush(self._queue, (time, self._sequence, _Call(fn, arg)))
@@ -343,18 +419,24 @@ class Simulator:
             )
         event = self.acquire_event()
         event._triggered = True
-        self._sequence += 1
         if self._shard_rank is not None:
-            ctx = self._shard_ctx
-            lineage = (
-                self._now, ctx, self._shard_rank, self._sequence,
-                ctx[4] + 1 if ctx else 0,
-            )
+            if self._apply_mode:
+                self._apply_seq += 1
+                lineage = (self._now, _APPLY_CTX, -2, self._apply_seq, 0)
+            else:
+                self._sequence += 1
+                ctx = self._shard_ctx
+                lineage = (
+                    self._now, ctx, self._shard_rank, self._sequence,
+                    ctx[4] + 1 if ctx else 0,
+                )
             if time == self._now and self.fastpath:
                 self._ring.append((event, lineage))
             else:
                 heapq.heappush(self._queue, (time, lineage, event))
-        elif time == self._now and self.fastpath:
+            return event
+        self._sequence += 1
+        if time == self._now and self.fastpath:
             self._ring.append(event)
         else:
             heapq.heappush(self._queue, (time, self._sequence, event))
@@ -493,16 +575,21 @@ class Simulator:
             self._running = False
         return self._now
 
-    def run_window(self, end: float) -> float:
+    def run_window(self, end: float, inclusive: bool = False) -> float:
         """Process every event with time strictly below ``end`` (shard mode).
 
         The conservative window loop of the parallel engine: the shard owns
         all events below ``end`` (cross-shard deliveries generated anywhere
         in the current window land at or after ``end``, by the lookahead
         bound), so processing them needs no coordination.  Events exactly at
-        ``end`` stay queued for the next window.  Unlike :meth:`run`, the
-        clock is *not* advanced to ``end`` when the queue drains early — the
-        next window's bound is derived from the earliest pending event
+        ``end`` stay queued for the next window — unless ``inclusive`` is
+        set, the drain mode of the membership-barrier protocol: once every
+        in-flight delivery at or below the barrier time is accounted for,
+        events *at* the barrier instant must be processed before the
+        control-plane apply (the sequential engine fires a membership event
+        only after exhausting all same-instant work).  Unlike :meth:`run`,
+        the clock is *not* advanced to ``end`` when the queue drains early —
+        the next window's bound is derived from the earliest pending event
         across all shards, not from this shard's idle clock.
         """
         if self._shard_rank is None:
@@ -516,6 +603,11 @@ class Simulator:
         call_cls = _Call
         pool = self._event_pool
         trim = _trim_lineage
+        executed = 0
+        if inclusive:
+            # Keep the hot loop's single `time >= end` comparison: an
+            # inclusive bound is an exclusive bound just past ``end``.
+            end = math.nextafter(end, math.inf)
         try:
             while True:
                 if queue:
@@ -531,6 +623,7 @@ class Simulator:
                     item, lineage = ring.popleft()
                 else:
                     break
+                executed += 1
                 # Children scheduled while processing this item inherit its
                 # (depth-trimmed) lineage as their parent context.
                 self._shard_ctx = trim(lineage)
@@ -547,6 +640,7 @@ class Simulator:
                         pool.append(item)
         finally:
             self._running = False
+            self.executed_events += executed
         return self._now
 
     def run_process(self, generator: Generator, name: Optional[str] = None) -> Any:

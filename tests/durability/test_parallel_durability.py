@@ -1,0 +1,127 @@
+"""Bit-identity of durable runs on the parallel shard engine.
+
+Durable (WAL + checkpoint) workloads shard since the phase-2 engine: each
+shard appends to per-node WAL segments with shard-relative LSNs, and the
+epoch merge stitches the segments into the cluster total order via the
+two-level ``(window, shard, local)`` order key.  These tests hold the same
+bar as ``tests/experiments/test_parallel_identity.py`` — everything the
+sequential engine produces, including the WAL itself and a recovery from a
+crash at an epoch boundary, must be bit-identical at ``jobs>1``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.durability import DurabilityConfig
+from repro.experiments import MFScale
+from repro.experiments.runner import make_elastic_mf
+
+MF = MFScale(num_rows=32, num_cols=16, num_entries=300, rank=4)
+
+
+def _run_durable(system, jobs, fail=True, config=None, epochs=4):
+    """Durable MF run; optional crash + restart at the first epoch boundary."""
+    if config is None:
+        config = DurabilityConfig(checkpoint_interval=0.002)
+    elastic, trainer = make_elastic_mf(
+        system,
+        num_nodes=3,
+        scale=MF,
+        workers_per_node=2,
+        seed=3,
+        durability=config,
+        jobs=jobs,
+    )
+    ps = elastic.ps
+    results = [elastic.run_epoch(trainer, compute_loss=True)]
+    if fail:
+        now = ps.simulated_time
+        elastic.fail_at(now, 2)
+        elastic.rejoin_at(now, 2)
+    results += [
+        elastic.run_epoch(trainer, compute_loss=True) for _ in range(epochs - 1)
+    ]
+    return elastic, trainer, results
+
+
+def _fingerprint(elastic, results):
+    ps = elastic.ps
+    wal_logs = {
+        node: tuple(
+            (record.lsn, record.kind, record.keys, record.values.tobytes())
+            for record in wal.records
+        )
+        for node, wal in ps.durability.wals.items()
+    }
+    return (
+        tuple(repr(r.duration) for r in results),
+        tuple(repr(r.loss) for r in results),
+        ps.network.stats.remote_messages,
+        ps.network.stats.bytes_sent,
+        ps.metrics().as_dict(),
+        elastic.lost_keys,
+        elastic.recovered_keys,
+        wal_logs,
+        ps.all_parameters().tobytes(),
+    )
+
+
+@pytest.mark.parametrize("system", ("lapse", "hybrid"))
+def test_durable_recovery_identical_at_two_shards(system):
+    """Crash + WAL recovery at an epoch boundary merges bit-identically."""
+    seq = _run_durable(system, jobs=1)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        par = _run_durable(system, jobs=2)
+    assert not [w for w in caught if w.category is RuntimeWarning]
+    assert _fingerprint(seq[0], seq[2]) == _fingerprint(par[0], par[2])
+    assert par[0].ps._last_fallback_reason is None
+    assert par[0].ps._last_effective_jobs == 2
+
+
+def test_durable_recovery_identical_at_four_shards():
+    seq = _run_durable("lapse", jobs=1)
+    par = _run_durable("lapse", jobs=4)
+    assert _fingerprint(seq[0], seq[2]) == _fingerprint(par[0], par[2])
+
+
+def test_durable_plain_run_identical_for_classic():
+    """The static classic PS cannot recover a crash, but its durable runs
+    (WAL installed, no failure) shard like any other workload."""
+    seq = _run_durable("classic", jobs=1, fail=False)
+    par = _run_durable("classic", jobs=2, fail=False)
+    assert _fingerprint(seq[0], seq[2]) == _fingerprint(par[0], par[2])
+
+
+def test_wal_truncation_falls_back_to_sequential():
+    """Truncation drops the records LSN stitching renumbers; such runs warn
+    and stay sequential — and still match jobs=1 exactly."""
+    from repro.simnet.parallel import reset_fallback_warnings
+
+    config = DurabilityConfig(checkpoint_interval=0.002, truncate_on_checkpoint=True)
+    seq = _run_durable("lapse", jobs=1, fail=False, config=config)
+    reset_fallback_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        par = _run_durable("lapse", jobs=2, fail=False, config=config)
+    reset_fallback_warnings()
+    messages = [str(w.message) for w in caught if w.category is RuntimeWarning]
+    assert any("truncation" in message for message in messages)
+    assert "truncation" in par[0].ps._last_fallback_reason
+    assert par[0].ps._last_effective_jobs == 1
+    assert _fingerprint(seq[0], seq[2]) == _fingerprint(par[0], par[2])
+
+
+def test_parallel_checkpoints_replay_like_sequential():
+    """Checkpoint schedules survive the shard merge: the stitched clock and
+    per-node ``_next_checkpoint_at`` keep periodic checkpoints firing at the
+    same simulated instants as the sequential run."""
+    seq = _run_durable("lapse", jobs=1, fail=False)
+    par = _run_durable("lapse", jobs=2, fail=False)
+    seq_metrics = seq[0].ps.metrics()
+    par_metrics = par[0].ps.metrics()
+    assert seq_metrics.checkpoints == par_metrics.checkpoints
+    assert seq_metrics.wal_appends == par_metrics.wal_appends
+    assert seq_metrics.wal_bytes == par_metrics.wal_bytes

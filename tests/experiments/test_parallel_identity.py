@@ -80,7 +80,7 @@ def test_w2v_identical(system):
     assert _fingerprint(seq) == _fingerprint(par)
 
 
-def _train_mf(system, jobs):
+def _train_mf(system, jobs, plan=None):
     from repro.config import ClusterConfig, ParameterServerConfig
     from repro.data import generate_matrix
     from repro.ml import MatrixFactorizationConfig, MatrixFactorizationTrainer
@@ -93,6 +93,8 @@ def _train_mf(system, jobs):
         ParameterServerConfig(num_keys=matrix.num_cols, value_length=4),
         jobs=jobs,
     )
+    if plan is not None:
+        ps._adaptive_shard_plan = plan
     trainer = MatrixFactorizationTrainer(
         ps, matrix, MatrixFactorizationConfig(rank=4), seed=3
     )
@@ -116,28 +118,86 @@ def test_four_shards_identical():
     assert _fingerprint(seq) == _fingerprint(par)
 
 
-def test_elastic_falls_back_to_sequential():
-    """Elastic runs are ineligible: jobs>1 warns once and matches jobs=1."""
+def test_non_contiguous_plan_refork_identical():
+    """A plan that moves nodes between shards (the rebalance/refork path)
+    still merges bit-identically: shard membership is a wall-clock detail."""
+    from repro.config import CostModel
+    from repro.simnet.parallel import ShardPlan
+
+    interleaved = ShardPlan(
+        num_shards=2,
+        node_ranks={0: 0, 1: 1, 2: 0, 3: 1},
+        shard_nodes=[[0, 2], [1, 3]],
+        lookahead=CostModel().network_latency,
+    )
+    seq_cols, seq_rows = _train_mf("lapse", jobs=1)
+    par_cols, par_rows = _train_mf("lapse", jobs=2, plan=interleaved)
+    assert np.array_equal(seq_cols, par_cols)
+    assert np.array_equal(seq_rows, par_rows)
+
+
+# ------------------------------------------------------------------- elastic
+def _run_elastic(jobs, system="lapse", schedule=None):
     from repro.cluster import ClusterSchedule
     from repro.experiments.runner import run_elastic_mf_experiment
 
-    def run(jobs):
-        schedule = ClusterSchedule().join(0.002, node=2)
-        return run_elastic_mf_experiment(
-            "lapse",
-            num_nodes=3,
-            initial_nodes=(0, 1),
-            schedule=schedule,
-            scale=MF,
-            workers_per_node=2,
-            epochs=2,
-            jobs=jobs,
-        )
+    if schedule is None:
+        # Join and drain both land mid-epoch, so shards must quiesce at the
+        # membership barriers and execute the replicated apply.
+        schedule = ClusterSchedule().join(0.002, node=3).drain(0.008, node=1)
+    return run_elastic_mf_experiment(
+        system,
+        num_nodes=4,
+        initial_nodes=(0, 1, 2),
+        schedule=schedule,
+        scale=MF,
+        workers_per_node=2,
+        epochs=4,
+        compute_loss=True,
+        jobs=jobs,
+    )
 
-    seq = run(1)
+
+@pytest.mark.parametrize("system", ("classic", "lapse", "hybrid"))
+def test_elastic_lifecycle_identical(system):
+    """Elastic runs shard now: join + drain mid-epoch, bit-identical merge."""
+    seq = _run_elastic(1, system=system)
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
-        par = run(2)
+        par = _run_elastic(2, system=system)
+    assert not [w for w in caught if w.category is RuntimeWarning]
+    assert par.parallel_fallback_reason is None
+    assert par.effective_jobs == 2
+    assert seq.effective_jobs == 1
+    assert _fingerprint(seq) == _fingerprint(par)
+
+
+def test_elastic_four_shards_identical():
+    seq = _run_elastic(1)
+    par = _run_elastic(4)
+    assert par.effective_jobs == 4
+    assert _fingerprint(seq) == _fingerprint(par)
+
+
+def test_scheduled_failure_falls_back_to_sequential():
+    """Scheduled node failures stay sequential: the recovery ladder is not
+    shardable, so jobs>1 warns, records the reason, and matches jobs=1."""
+    from repro.cluster import ClusterSchedule
+    from repro.simnet.parallel import reset_fallback_warnings
+
+    schedule = (
+        ClusterSchedule().fail(0.004, node=2).rejoin(0.008, node=2)
+    )
+    seq = _run_elastic(1, schedule=schedule)
+    reset_fallback_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        par = _run_elastic(2, schedule=schedule)
+    reset_fallback_warnings()
     messages = [str(w.message) for w in caught if w.category is RuntimeWarning]
-    assert any("elastic" in message for message in messages)
+    assert any("fail event" in message for message in messages)
+    # Once the node is recovered the engine resumes sharding, so the fields
+    # on the result reflect the (parallel) final epoch.
+    assert par.parallel_fallback_reason is None
+    assert par.effective_jobs == 2
     assert _fingerprint(seq) == _fingerprint(par)
